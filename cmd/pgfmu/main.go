@@ -1,0 +1,115 @@
+// Command pgfmu is an interactive SQL shell over a pgFMU database: the
+// embedded engine with the model catalogue, the fmu_* UDF suite, and the
+// MADlib-equivalent ML UDFs installed.
+//
+//	$ pgfmu
+//	pgfmu> SELECT fmu_create('/tmp/hp1.fmu', 'HP1Instance1');
+//	pgfmu> SELECT * FROM fmu_variables('HP1Instance1');
+//
+// Statements end with ';' and may span lines. \q quits, \d lists tables.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	pgfmu "repro"
+)
+
+func main() {
+	db, err := pgfmu.Open()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgfmu: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("pgFMU shell — FMU model management over SQL. \\q quits, \\d lists tables.")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var pending strings.Builder
+
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("pgfmu> ")
+		} else {
+			fmt.Print("  ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			switch trimmed {
+			case `\q`, `\quit`:
+				return
+			case `\d`:
+				names := db.SQL().TableNames()
+				sort.Strings(names)
+				for _, n := range names {
+					fmt.Println(n)
+				}
+			default:
+				fmt.Printf("unknown command %s\n", trimmed)
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			sql := pending.String()
+			pending.Reset()
+			runStatement(db, sql)
+		}
+		prompt()
+	}
+}
+
+func runStatement(db *pgfmu.DB, sql string) {
+	rows, err := db.Query(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";")))
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if len(rows.Columns) == 0 {
+		fmt.Println("ok")
+		return
+	}
+	headers := make([]string, len(rows.Columns))
+	widths := make([]int, len(rows.Columns))
+	for i, c := range rows.Columns {
+		headers[i] = c.Name
+		widths[i] = len(c.Name)
+	}
+	rendered := make([][]string, len(rows.Rows))
+	for ri, row := range rows.Rows {
+		cells := make([]string, len(row))
+		for ci, v := range row {
+			cells[ci] = v.String()
+			if ci < len(widths) && len(cells[ci]) > widths[ci] {
+				widths[ci] = len(cells[ci])
+			}
+		}
+		rendered[ri] = cells
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = c + strings.Repeat(" ", widths[i]-len(c))
+		}
+		fmt.Println(" " + strings.Join(parts, " | "))
+	}
+	writeRow(headers)
+	total := 1
+	for _, w := range widths {
+		total += w + 3
+	}
+	fmt.Println(strings.Repeat("-", total))
+	for _, cells := range rendered {
+		writeRow(cells)
+	}
+	fmt.Printf("(%d rows)\n", len(rows.Rows))
+}

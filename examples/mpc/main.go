@@ -1,0 +1,72 @@
+// MPC demonstrates the paper's §9 future work, implemented here: in-DBMS
+// FMU-based dynamic optimization. After calibrating the heat-pump model on
+// measurements, fmu_control searches for the heat pump power schedule that
+// holds the indoor temperature at a comfort setpoint — model-predictive
+// control as a SQL query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pgfmu "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	db, err := pgfmu.Open(pgfmu.WithEstimatorOptions(pgfmu.EstimatorOptions{
+		GA: pgfmu.GAOptions{Population: 16, Generations: 10, Seed: 6},
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Calibrate on two days of measurements.
+	frame, err := dataset.GenerateHP1(dataset.Config{Hours: 48, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.LoadFrame(db.SQL(), "measurements", frame); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.CreateModel(dataset.HP1Source, "hp"); err != nil {
+		log.Fatal(err)
+	}
+	results, err := db.Calibrate([]string{"hp"},
+		[]string{"SELECT time, x, u FROM measurements"}, []string{"Cp", "R"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated: Cp=%.3f R=%.3f, RMSE %.3f degC\n",
+		results[0].Params["Cp"], results[0].Params["R"], results[0].RMSE)
+
+	// Ask for a 24-hour control plan holding 18 degC with 6 segments —
+	// straight from SQL.
+	rows, err := db.Query(`
+		SELECT time, varName, value
+		FROM fmu_control('hp', 'x', 18.0, 0, 24, 6)
+		WHERE varName = 'u' ORDER BY time`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimized heat pump schedule (u per 4-hour segment):")
+	for _, r := range rows.Rows {
+		tm, _ := r[0].AsFloat()
+		u, _ := r[2].AsFloat()
+		fmt.Printf("  %5.1f h  u = %.3f\n", tm, u)
+	}
+
+	// And the predicted temperature trajectory under that plan.
+	rows, err = db.Query(`
+		SELECT min(value), max(value), avg(value)
+		FROM fmu_control('hp', 'x', 18.0, 0, 24, 6)
+		WHERE varName = 'predicted:x' AND time > 6`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minT, _ := rows.Rows[0][0].AsFloat()
+	maxT, _ := rows.Rows[0][1].AsFloat()
+	avgT, _ := rows.Rows[0][2].AsFloat()
+	fmt.Printf("predicted temperature after settling: min %.2f, max %.2f, avg %.2f degC (setpoint 18)\n",
+		minT, maxT, avgT)
+}

@@ -1,0 +1,69 @@
+// Quickstart: the paper's four-statement workflow — create an FMU model
+// instance, calibrate it against measurements, simulate it, and analyse the
+// predictions — all through SQL.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pgfmu "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	db, err := pgfmu.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measurements: 48 hours of synthetic heat-pump data (indoor temperature
+	// x, power y, control input u) — the stand-in for the NIST dataset.
+	frame, err := dataset.GenerateHP1(dataset.Config{Hours: 48, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.LoadFrame(db.SQL(), "measurements", frame); err != nil {
+		log.Fatal(err)
+	}
+
+	// Statement 1: create the model instance from inline Modelica (a .fmu or
+	// .mo path works the same).
+	if _, err := db.Query(`SELECT fmu_create($1, 'HP1Instance1')`, dataset.HP1Source); err != nil {
+		log.Fatal(err)
+	}
+
+	// Statement 2: calibrate thermal capacitance and resistance.
+	rows, err := db.Query(`SELECT fmu_parest('{HP1Instance1}',
+		'{SELECT * FROM measurements}', '{Cp, R}')`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("estimation errors:", rows.Rows[0][0])
+
+	// Statement 3: simulate and read predictions.
+	rows, err = db.Query(`
+		SELECT simulationTime, varName, value
+		FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')
+		WHERE varName = 'x' LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first predicted indoor temperatures:")
+	for _, r := range rows.Rows {
+		fmt.Printf("  t=%-6s %s = %s\n", r[0], r[1], r[2])
+	}
+
+	// Statement 4: analyse predictions with plain SQL.
+	rows, err = db.Query(`
+		SELECT varName, round(avg(value), 3), round(min(value), 3), round(max(value), 3)
+		FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')
+		GROUP BY varName ORDER BY varName`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("prediction summary (var, avg, min, max):")
+	for _, r := range rows.Rows {
+		fmt.Printf("  %s  %s  %s  %s\n", r[0], r[1], r[2], r[3])
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpc"
+	"repro/internal/sqldb"
+	"repro/internal/timeseries"
+	"repro/internal/variant"
+)
+
+// ControlRequest configures fmu_control — the §9 future-work feature:
+// in-DBMS FMU-based dynamic optimization of a control input.
+type ControlRequest struct {
+	// InstanceID names the (calibrated) model instance.
+	InstanceID string
+	// Control names the model input to optimize; empty picks the model's
+	// single input.
+	Control string
+	// Target names the state/output to steer; empty picks the first state.
+	Target string
+	// Setpoint is the desired target value.
+	Setpoint float64
+	// TimeFrom/TimeTo bound the horizon; Steps is the number of
+	// piecewise-constant control segments.
+	TimeFrom, TimeTo float64
+	Steps            int
+	// InputSQL optionally supplies the exogenous input series.
+	InputSQL string
+	// EffortWeight penalizes control magnitude.
+	EffortWeight float64
+}
+
+// Control optimizes a control trajectory over the horizon and returns one
+// row per segment: (time, control, value) plus the predicted target
+// trajectory rows (time, 'predicted:<target>', value).
+func (s *Session) Control(req ControlRequest) (*sqldb.ResultSet, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.controlLocked(req)
+}
+
+func (s *Session) controlLocked(req ControlRequest) (*sqldb.ResultSet, error) {
+	inst, modelID, err := s.instanceLocked(req.InstanceID)
+	if err != nil {
+		return nil, err
+	}
+	unit := s.units[modelID]
+
+	control := req.Control
+	if control == "" {
+		if len(unit.Model.Inputs) != 1 {
+			return nil, fmt.Errorf("core: fmu_control needs an explicit control name for models with %d inputs", len(unit.Model.Inputs))
+		}
+		control = unit.Model.Inputs[0].Name
+	}
+	target := req.Target
+	if target == "" {
+		if len(unit.Model.States) == 0 {
+			return nil, fmt.Errorf("core: model has no states to control")
+		}
+		target = unit.Model.States[0].Name
+	}
+
+	// Control bounds from the catalogue (fmu_set_minimum/maximum or the
+	// Modelica declaration).
+	lo, hi, err := s.parameterBoundsAny(modelID, control)
+	if err != nil {
+		return nil, err
+	}
+
+	other := make(map[string]*timeseries.Series)
+	if req.InputSQL != "" {
+		rs, err := s.db.QueryNested(req.InputSQL)
+		if err != nil {
+			return nil, fmt.Errorf("core: input query: %w", err)
+		}
+		in, err := decodeInput(rs)
+		if err != nil {
+			return nil, err
+		}
+		for _, mi := range unit.Model.Inputs {
+			if mi.Name == control {
+				continue
+			}
+			if series := in.get(mi.Name); series != nil {
+				other[mi.Name] = series
+			}
+		}
+	}
+
+	problem := &mpc.Problem{
+		Instance:     inst,
+		Control:      control,
+		Lo:           lo,
+		Hi:           hi,
+		Target:       target,
+		Setpoint:     req.Setpoint,
+		T0:           req.TimeFrom,
+		T1:           req.TimeTo,
+		Steps:        req.Steps,
+		EffortWeight: req.EffortWeight,
+		OtherInputs:  other,
+	}
+	plan, err := mpc.Solve(problem)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &sqldb.ResultSet{Columns: []sqldb.Column{
+		{Name: "time", Type: "float"},
+		{Name: "varName", Type: "text"},
+		{Name: "value", Type: "float"},
+	}}
+	for i, t := range plan.Times {
+		out.Rows = append(out.Rows, sqldb.Row{
+			variant.NewFloat(t), variant.NewText(control), variant.NewFloat(plan.Controls[i]),
+		})
+	}
+	predictedName := "predicted:" + target
+	for i, t := range plan.Predicted.Times {
+		out.Rows = append(out.Rows, sqldb.Row{
+			variant.NewFloat(t), variant.NewText(predictedName), variant.NewFloat(plan.Predicted.Values[i]),
+		})
+	}
+	return out, nil
+}
+
+// parameterBoundsAny reads min/max bounds for any catalogued variable and
+// requires both to be present.
+func (s *Session) parameterBoundsAny(modelID, varName string) (lo, hi float64, err error) {
+	lo, hi, err = s.parameterBounds(modelID, varName)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lo != lo || hi != hi { // NaN check without importing math here
+		return 0, 0, fmt.Errorf("core: control %q needs min/max bounds; set them with fmu_set_minimum/fmu_set_maximum or in the model", varName)
+	}
+	return lo, hi, nil
+}
+
+// registerControlUDF wires fmu_control into the SQL engine; called from
+// registerUDFs.
+func (s *Session) registerControlUDF() {
+	s.db.RegisterTable("fmu_control", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
+		if len(args) < 6 || len(args) > 8 {
+			return nil, fmt.Errorf("fmu_control(instanceId, targetVar, setpoint, time_from, time_to, steps [, input_sql [, effort]]) expects 6–8 arguments")
+		}
+		req := ControlRequest{InstanceID: args[0].AsText(), Target: args[1].AsText()}
+		var err error
+		if req.Setpoint, err = args[2].AsFloat(); err != nil {
+			return nil, fmt.Errorf("setpoint: %w", err)
+		}
+		if req.TimeFrom, err = timeArg(args[3]); err != nil {
+			return nil, fmt.Errorf("time_from: %w", err)
+		}
+		if req.TimeTo, err = timeArg(args[4]); err != nil {
+			return nil, fmt.Errorf("time_to: %w", err)
+		}
+		steps, err := args[5].AsInt()
+		if err != nil {
+			return nil, fmt.Errorf("steps: %w", err)
+		}
+		req.Steps = int(steps)
+		if len(args) >= 7 && !args[6].IsNull() {
+			req.InputSQL = args[6].AsText()
+		}
+		if len(args) == 8 && !args[7].IsNull() {
+			if req.EffortWeight, err = args[7].AsFloat(); err != nil {
+				return nil, fmt.Errorf("effort: %w", err)
+			}
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.controlLocked(req)
+	})
+}

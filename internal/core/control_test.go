@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestControlUDF(t *testing.T) {
+	s := newTestSession(t)
+	if _, err := s.Create(hpSource, "hp"); err != nil {
+		t.Fatal(err)
+	}
+	// Ground-truth dynamics for a solvable steering task.
+	_ = s.SetInitial("hp", "A", hpTrueA)
+	_ = s.SetInitial("hp", "B", hpTrueB)
+	_ = s.SetInitial("hp", "E", hpTrueE)
+
+	rs, err := s.DB().Query(`
+		SELECT time, varName, value FROM fmu_control('hp', 'x', 25.0, 0, 24, 4)
+		WHERE varName = 'u' ORDER BY time`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 4 {
+		t.Fatalf("control segments = %d, want 4", len(rs.Rows))
+	}
+	// Steady state: x* = (B u + E)/(-A) => u* = (-A x* - E)/B ≈ 0.484.
+	uStar := (-hpTrueA*25 - hpTrueE) / hpTrueB
+	last, _ := rs.Rows[3][2].AsFloat()
+	if math.Abs(last-uStar) > 0.12 {
+		t.Errorf("final control = %v, want ≈ %v", last, uStar)
+	}
+	// Predicted trajectory rows exist and settle near the setpoint.
+	rs, err = s.DB().Query(`
+		SELECT avg(value) FROM fmu_control('hp', 'x', 25.0, 0, 24, 4)
+		WHERE varName = 'predicted:x' AND time > 12`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, _ := rs.Rows[0][0].AsFloat()
+	if math.Abs(avg-25) > 1.5 {
+		t.Errorf("settled temperature = %v, want ≈ 25", avg)
+	}
+}
+
+func TestControlGoAPI(t *testing.T) {
+	s := newTestSession(t)
+	if _, err := s.Create(hpSource, "hp"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.SetInitial("hp", "A", hpTrueA)
+	_ = s.SetInitial("hp", "B", hpTrueB)
+	_ = s.SetInitial("hp", "E", hpTrueE)
+	rs, err := s.Control(ControlRequest{
+		InstanceID: "hp", Setpoint: 20, TimeFrom: 0, TimeTo: 12, Steps: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("no control rows")
+	}
+	// Control defaulted to the single input, target to the first state.
+	if got := rs.Rows[0][1].AsText(); got != "u" {
+		t.Errorf("default control = %q", got)
+	}
+}
+
+func TestControlErrors(t *testing.T) {
+	s := newTestSession(t)
+	if _, err := s.Create(hpSource, "hp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Control(ControlRequest{InstanceID: "missing", Setpoint: 1, TimeTo: 1, Steps: 1}); err == nil {
+		t.Error("missing instance should fail")
+	}
+	if _, err := s.Control(ControlRequest{
+		InstanceID: "hp", Control: "zzz", Setpoint: 1, TimeTo: 1, Steps: 1,
+	}); err == nil {
+		t.Error("unknown control should fail")
+	}
+	if _, err := s.DB().Query(`SELECT * FROM fmu_control('hp')`); err == nil {
+		t.Error("too few arguments should fail")
+	}
+	if _, err := s.DB().Query(`SELECT * FROM fmu_control('hp', 'x', 'abc', 0, 1, 2)`); err == nil {
+		t.Error("non-numeric setpoint should fail")
+	}
+	// Control without bounds fails with a helpful message.
+	src := `
+model nb
+  input Real w;
+  Real x(start=0);
+equation
+  der(x) = w;
+end nb;
+`
+	if _, err := s.Create(src, "nb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Control(ControlRequest{
+		InstanceID: "nb", Setpoint: 1, TimeTo: 1, Steps: 1,
+	}); err == nil {
+		t.Error("unbounded control should fail")
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sqldb"
+	"repro/internal/variant"
+)
+
+func rs(cols []sqldb.Column, rows ...sqldb.Row) *sqldb.ResultSet {
+	return &sqldb.ResultSet{Columns: cols, Rows: rows}
+}
+
+func TestFindTimeColumnByName(t *testing.T) {
+	for _, name := range []string{"time", "ts", "timestamp", "simulationtime", "datetime"} {
+		set := rs([]sqldb.Column{{Name: "v"}, {Name: name}},
+			sqldb.Row{variant.NewFloat(1), variant.NewFloat(0)})
+		idx, err := findTimeColumn(set)
+		if err != nil || idx != 1 {
+			t.Errorf("findTimeColumn(%s) = %d, %v", name, idx, err)
+		}
+	}
+}
+
+func TestFindTimeColumnByType(t *testing.T) {
+	set := rs([]sqldb.Column{{Name: "v"}, {Name: "when"}},
+		sqldb.Row{variant.NewFloat(1), variant.NewTime(time.Now())})
+	idx, err := findTimeColumn(set)
+	if err != nil || idx != 1 {
+		t.Errorf("timestamp-typed column = %d, %v", idx, err)
+	}
+}
+
+func TestFindTimeColumnMissing(t *testing.T) {
+	set := rs([]sqldb.Column{{Name: "a"}, {Name: "b"}},
+		sqldb.Row{variant.NewFloat(1), variant.NewFloat(2)})
+	if _, err := findTimeColumn(set); err == nil {
+		t.Error("no time column should fail")
+	}
+}
+
+func TestDecodeInputEmpty(t *testing.T) {
+	set := rs([]sqldb.Column{{Name: "time"}, {Name: "x"}})
+	if _, err := decodeInput(set); err == nil {
+		t.Error("empty result should fail")
+	}
+}
+
+func TestDecodeWideSkipsBookkeepingColumns(t *testing.T) {
+	set := rs(
+		[]sqldb.Column{{Name: "no"}, {Name: "time"}, {Name: "x"}},
+		sqldb.Row{variant.NewInt(1), variant.NewFloat(0), variant.NewFloat(20)},
+		sqldb.Row{variant.NewInt(2), variant.NewFloat(1), variant.NewFloat(21)},
+	)
+	in, err := decodeInput(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.get("no") != nil {
+		t.Error("row-number column should be ignored")
+	}
+	if s := in.get("x"); s == nil || s.Len() != 2 {
+		t.Errorf("x series = %+v", s)
+	}
+}
+
+func TestDecodeWideNullsSkipped(t *testing.T) {
+	set := rs(
+		[]sqldb.Column{{Name: "time"}, {Name: "x"}},
+		sqldb.Row{variant.NewFloat(0), variant.NewFloat(20)},
+		sqldb.Row{variant.NewFloat(1), variant.NewNull()},
+		sqldb.Row{variant.NewFloat(2), variant.NewFloat(22)},
+	)
+	in, err := decodeInput(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := in.get("x"); s.Len() != 2 {
+		t.Errorf("null sample should be skipped: %+v", s)
+	}
+}
+
+func TestDecodeWideUnorderedTimeFails(t *testing.T) {
+	set := rs(
+		[]sqldb.Column{{Name: "time"}, {Name: "x"}},
+		sqldb.Row{variant.NewFloat(1), variant.NewFloat(20)},
+		sqldb.Row{variant.NewFloat(0), variant.NewFloat(21)},
+	)
+	if _, err := decodeInput(set); err == nil {
+		t.Error("unordered time should fail")
+	}
+}
+
+func TestDecodeWideNonNumericValueFails(t *testing.T) {
+	set := rs(
+		[]sqldb.Column{{Name: "time"}, {Name: "x"}},
+		sqldb.Row{variant.NewFloat(0), variant.NewText("abc")},
+	)
+	if _, err := decodeInput(set); err == nil {
+		t.Error("non-numeric value should fail")
+	}
+}
+
+func TestDecodeWideOnlyTimeColumnFails(t *testing.T) {
+	set := rs(
+		[]sqldb.Column{{Name: "time"}, {Name: "no"}},
+		sqldb.Row{variant.NewFloat(0), variant.NewInt(1)},
+	)
+	if _, err := decodeInput(set); err == nil {
+		t.Error("time-only result should fail")
+	}
+}
+
+func TestDecodeLong(t *testing.T) {
+	set := rs(
+		[]sqldb.Column{{Name: "time"}, {Name: "varname"}, {Name: "value"}},
+		sqldb.Row{variant.NewFloat(0), variant.NewText("u"), variant.NewFloat(0.5)},
+		sqldb.Row{variant.NewFloat(0), variant.NewText("x"), variant.NewFloat(20)},
+		sqldb.Row{variant.NewFloat(1), variant.NewText("u"), variant.NewFloat(0.6)},
+		sqldb.Row{variant.NewFloat(1), variant.NewText("x"), variant.NewNull()},
+	)
+	in, err := decodeInput(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := in.get("u"); s == nil || s.Len() != 2 {
+		t.Errorf("u series = %+v", s)
+	}
+	if s := in.get("x"); s == nil || s.Len() != 1 {
+		t.Errorf("x series (null skipped) = %+v", s)
+	}
+	// Case-insensitive lookup.
+	if in.get("U") == nil {
+		t.Error("lookup should be case-insensitive")
+	}
+}
+
+func TestDecodeLongErrors(t *testing.T) {
+	empty := rs(
+		[]sqldb.Column{{Name: "time"}, {Name: "varname"}, {Name: "value"}},
+		sqldb.Row{variant.NewFloat(0), variant.NewText(""), variant.NewFloat(1)},
+	)
+	if _, err := decodeInput(empty); err == nil {
+		t.Error("empty varName should fail")
+	}
+	bad := rs(
+		[]sqldb.Column{{Name: "time"}, {Name: "varname"}, {Name: "value"}},
+		sqldb.Row{variant.NewFloat(0), variant.NewText("u"), variant.NewText("zzz")},
+	)
+	if _, err := decodeInput(bad); err == nil {
+		t.Error("non-numeric value should fail")
+	}
+	allNull := rs(
+		[]sqldb.Column{{Name: "time"}, {Name: "varname"}, {Name: "value"}},
+		sqldb.Row{variant.NewFloat(0), variant.NewText("u"), variant.NewNull()},
+	)
+	if _, err := decodeInput(allNull); err == nil {
+		t.Error("no usable rows should fail")
+	}
+}
+
+func TestInputWindow(t *testing.T) {
+	set := rs(
+		[]sqldb.Column{{Name: "time"}, {Name: "x"}, {Name: "u"}},
+		sqldb.Row{variant.NewFloat(2), variant.NewFloat(20), variant.NewFloat(0)},
+		sqldb.Row{variant.NewFloat(5), variant.NewFloat(21), variant.NewFloat(1)},
+	)
+	in, err := decodeInput(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, t1, err := in.window()
+	if err != nil || t0 != 2 || t1 != 5 {
+		t.Errorf("window = [%v, %v], %v", t0, t1, err)
+	}
+	empty := &inputData{series: nil}
+	if _, _, err := empty.window(); err == nil {
+		t.Error("empty input window should fail")
+	}
+}
+
+func TestTimestampAxisDetection(t *testing.T) {
+	ts := func(h int) variant.Value {
+		return variant.NewTime(time.Date(2015, 2, 1, h, 0, 0, 0, time.UTC))
+	}
+	set := rs(
+		[]sqldb.Column{{Name: "ts"}, {Name: "u"}},
+		sqldb.Row{ts(0), variant.NewFloat(0.1)},
+		sqldb.Row{ts(1), variant.NewFloat(0.2)},
+	)
+	in, err := decodeInput(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.timeIsTimestamp {
+		t.Error("timestamp axis should be flagged")
+	}
+	s := in.get("u")
+	if s.Times[1]-s.Times[0] != 3600 {
+		t.Errorf("hour spacing = %v, want 3600 s", s.Times[1]-s.Times[0])
+	}
+}

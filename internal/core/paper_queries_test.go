@@ -1,0 +1,180 @@
+package core
+
+// Conformance tests: the SQL queries as printed in the paper (§5–§7),
+// adapted only where the paper's snippet references local file paths. Every
+// query must parse and execute against a live session.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fmu"
+	"repro/internal/ml"
+	"repro/internal/sqldb"
+)
+
+func paperSession(t *testing.T) (*Session, string) {
+	t.Helper()
+	s := newTestSession(t)
+	loadMeasurements(t, s, "measurements", 1)
+	loadMeasurements(t, s, "measurements2", 1.05)
+	// Write the running example to disk as /tmp/hp1.fmu equivalent.
+	unit, err := fmu.CompileModelica(hpSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "hp1.fmu")
+	if err := unit.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func TestPaperSection5Queries(t *testing.T) {
+	s, fmuPath := paperSession(t)
+	db := s.DB()
+
+	// §5: SELECT fmu_create('/tmp/hp1.fmu', 'HP1Instance1');
+	if _, err := db.Query(fmt.Sprintf(`SELECT fmu_create('%s', 'HP1Instance1')`, fmuPath)); err != nil {
+		t.Fatalf("fmu_create from file: %v", err)
+	}
+	// §5: inline Modelica form (the paper's second fmu_create example).
+	if _, err := db.Query(`SELECT fmu_create('HP0Instance1', $1)`, hpSource); err != nil {
+		t.Fatalf("fmu_create inline: %v", err)
+	}
+	// §5: SELECT fmu_copy('HP1Instance1', 'HP1Instance2');
+	if _, err := db.Query(`SELECT fmu_copy('HP1Instance1', 'HP1Instance2')`); err != nil {
+		t.Fatalf("fmu_copy: %v", err)
+	}
+	// §5: the three setters.
+	for _, q := range []string{
+		`SELECT fmu_set_initial('HP1Instance1', 'A', 0)`,
+		`SELECT fmu_set_minimum('HP1Instance1', 'A', -10)`,
+		`SELECT fmu_set_maximum('HP1Instance1', 'A', 10)`,
+	} {
+		if _, err := db.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	// §5: SELECT * FROM fmu_variables('HP1Instance1') AS f WHERE
+	//     f.varType = 'parameter'
+	rs, err := db.Query(`SELECT * FROM fmu_variables('HP1Instance1') AS f WHERE
+		f.varType = 'parameter'`)
+	if err != nil {
+		t.Fatalf("fmu_variables: %v", err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("fmu_variables returned no parameters")
+	}
+	// §5: fmu_reset.
+	if _, err := db.Query(`SELECT fmu_reset('HP1Instance1')`); err != nil {
+		t.Fatalf("fmu_reset: %v", err)
+	}
+}
+
+func TestPaperSection6Queries(t *testing.T) {
+	s, _ := paperSession(t)
+	db := s.DB()
+	if _, err := s.Create(hpSource, "HP1Instance1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(hpSource, "HP1Instance2"); err != nil {
+		t.Fatal(err)
+	}
+	// §6: single-instance parameter estimation.
+	if _, err := db.Query(
+		`SELECT fmu_parest('{HP1Instance1}', '{SELECT * FROM measurements}', '{A, B}')`); err != nil {
+		t.Fatalf("SI fmu_parest: %v", err)
+	}
+	// §6: the MI query with two input SQLs in one brace list (the paper's
+	// exact comma-separated form).
+	if _, err := db.Query(`SELECT fmu_parest('{HP1Instance1, HP1Instance2}', '{
+		SELECT * FROM measurements, SELECT * FROM
+		measurements2}', '{A, B}')`); err != nil {
+		t.Fatalf("MI fmu_parest: %v", err)
+	}
+}
+
+func TestPaperSection7Queries(t *testing.T) {
+	s, _ := paperSession(t)
+	db := s.DB()
+	for i := 1; i <= 3; i++ {
+		if _, err := s.Create(hpSource, fmt.Sprintf("HP1Instance%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// §7: the simulation query with WHERE varName IN.
+	rs, err := db.Query(`
+		SELECT simulationTime, instanceId, varName, value
+		FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')
+		WHERE varName IN ('y', 'x')`)
+	if err != nil {
+		t.Fatalf("fmu_simulate: %v", err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("no simulation rows")
+	}
+	// §7: the LATERAL multi-instance pattern (reduced to the 3 instances
+	// created above; the paper uses 100).
+	rs, err = db.Query(`SELECT * FROM generate_series(1, 3) AS id,
+		LATERAL fmu_simulate('HP1Instance' || id::text,
+		'SELECT * FROM measurements') AS f`)
+	if err != nil {
+		t.Fatalf("LATERAL simulation: %v", err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("no LATERAL rows")
+	}
+	// §7: generate_series-driven input in the long (time, varName, value)
+	// format, as in the paper's combined query.
+	if _, err := db.Exec(`CREATE TABLE gen_inputs (time float, varname text, value float)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO gen_inputs
+		SELECT h::float, 'u', 0.5 FROM generate_series(0, 24) AS g(h)`); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = db.Query(`SELECT * FROM fmu_simulate('HP1Instance2', 'SELECT * FROM gen_inputs')`)
+	if err != nil {
+		t.Fatalf("long-format generate_series input: %v", err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("no rows from generated input")
+	}
+}
+
+func TestPaperMADlibQuery(t *testing.T) {
+	// §8.2: SELECT arima_train('occupants', 'occupants_output', 'time',
+	// 'value');  — the MADlib-style call, against the ML UDFs.
+	s, _ := paperSession(t)
+	db := s.DB()
+	// Register the ML UDFs the way pgfmu.Open does.
+	registerML(db)
+	if _, err := db.Exec(`CREATE TABLE occupants (time float, value float)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		v := 10.0
+		if i%24 >= 8 && i%24 < 17 {
+			v = 25
+		}
+		if err := db.InsertRow("occupants", float64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Query(`SELECT arima_train(
+		'occupants',
+		'occupants_output',
+		'time',
+		'value')`); err != nil {
+		t.Fatalf("arima_train: %v", err)
+	}
+	rs, err := db.Query(`SELECT * FROM arima_forecast('occupants_output', 12)`)
+	if err != nil || len(rs.Rows) != 12 {
+		t.Fatalf("arima_forecast: %v (%d rows)", err, len(rs.Rows))
+	}
+}
+
+// registerML installs the MADlib-equivalent UDFs for the §8.2 query test.
+func registerML(db *sqldb.DB) { ml.RegisterUDFs(db) }

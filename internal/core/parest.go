@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/estimate"
+	"repro/internal/fmu"
+	"repro/internal/timeseries"
+)
+
+// ParestResult is the outcome of fmu_parest for one instance.
+type ParestResult struct {
+	InstanceID string
+	// RMSE is the estimation error the paper returns.
+	RMSE float64
+	// Params are the fitted values written back to the catalogue.
+	Params map[string]float64
+	// UsedWarmStart reports whether the MI optimization's LO path was taken.
+	UsedWarmStart bool
+	// CostEvals counts objective evaluations (for the experiments).
+	CostEvals int
+}
+
+// Parest implements fmu_parest (§6, Algorithms 2 and 3). instanceIDs and
+// inputSQLs pair up one-to-one (a single SQL may be supplied for many
+// instances). pars lists the parameters to estimate; empty estimates all
+// model parameters. It updates each instance (and ModelInstanceValues) with
+// the fitted values and returns per-instance estimation errors.
+func (s *Session) Parest(instanceIDs, inputSQLs, pars []string) ([]ParestResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parestLocked(instanceIDs, inputSQLs, pars)
+}
+
+func (s *Session) parestLocked(instanceIDs, inputSQLs, pars []string) ([]ParestResult, error) {
+	if len(instanceIDs) == 0 {
+		return nil, fmt.Errorf("core: fmu_parest requires at least one instance")
+	}
+	if len(inputSQLs) == 1 && len(instanceIDs) > 1 {
+		// One query shared across all instances.
+		shared := inputSQLs[0]
+		inputSQLs = make([]string, len(instanceIDs))
+		for i := range inputSQLs {
+			inputSQLs[i] = shared
+		}
+	}
+	if len(inputSQLs) != len(instanceIDs) {
+		return nil, fmt.Errorf("core: fmu_parest got %d instances but %d input queries", len(instanceIDs), len(inputSQLs))
+	}
+
+	// Build one estimation job per instance.
+	jobs := make([]*estimate.MIJob, len(instanceIDs))
+	for i, id := range instanceIDs {
+		problem, modelID, err := s.buildProblem(id, inputSQLs[i], pars)
+		if err != nil {
+			return nil, fmt.Errorf("core: fmu_parest instance %q: %w", id, err)
+		}
+		jobs[i] = &estimate.MIJob{Problem: problem, ModelID: modelID}
+	}
+
+	var results []*estimate.Result
+	var err error
+	if s.miOptimization {
+		results, err = estimate.EstimateMI(jobs, s.threshold, s.estOpts)
+	} else {
+		// pgFMU-: full SI per instance, no warm starts.
+		results = make([]*estimate.Result, len(jobs))
+		for i, job := range jobs {
+			results[i], err = estimate.EstimateSI(job.Problem, s.estOpts)
+			if err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]ParestResult, len(results))
+	for i, r := range results {
+		id := instanceIDs[i]
+		// Algorithm 2 line 8: write fitted values back to the instance and
+		// the catalogue.
+		if err := estimate.Apply(jobs[i].Problem, r); err != nil {
+			return nil, err
+		}
+		for name, v := range r.Params {
+			if _, err := s.db.QueryNested(
+				`UPDATE modelinstancevalues SET value = $1
+				 WHERE instanceid = $2 AND varname = $3`,
+				v, id, name); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = ParestResult{
+			InstanceID:    id,
+			RMSE:          r.RMSE,
+			Params:        r.Params,
+			UsedWarmStart: r.UsedWarmStart,
+			CostEvals:     r.CostEvals,
+		}
+	}
+	return out, nil
+}
+
+// buildProblem assembles the estimation problem for one instance: run the
+// input query, bind columns to inputs and measured outputs by name
+// (Challenge 2), and read parameter bounds from the catalogue.
+func (s *Session) buildProblem(instanceID, inputSQL string, pars []string) (*estimate.Problem, string, error) {
+	inst, modelID, err := s.instanceLocked(instanceID)
+	if err != nil {
+		return nil, "", err
+	}
+	unit := s.units[modelID]
+
+	rs, err := s.db.QueryNested(inputSQL)
+	if err != nil {
+		return nil, "", fmt.Errorf("input query: %w", err)
+	}
+	in, err := decodeInput(rs)
+	if err != nil {
+		return nil, "", err
+	}
+
+	inputs := make(map[string]*timeseries.Series)
+	for _, mi := range unit.Model.Inputs {
+		if series := in.get(mi.Name); series != nil {
+			inputs[mi.Name] = series
+		}
+	}
+	measured := make(map[string]*timeseries.Series)
+	for _, st := range unit.Model.States {
+		if series := in.get(st.Name); series != nil {
+			measured[st.Name] = series
+		}
+	}
+	for _, o := range unit.Model.Outputs {
+		if _, dup := measured[o.Name]; dup {
+			continue
+		}
+		if series := in.get(o.Name); series != nil {
+			measured[o.Name] = series
+		}
+	}
+	if len(measured) == 0 {
+		return nil, "", fmt.Errorf("no measured columns match the model's states or outputs (have %v)", columnNames(in))
+	}
+
+	// Default parameter list: every model parameter (Algorithm 2 line 3).
+	if len(pars) == 0 {
+		for _, p := range unit.Model.Parameters {
+			pars = append(pars, p.Name)
+		}
+	}
+	specs := make([]estimate.ParamSpec, len(pars))
+	for i, name := range pars {
+		if inst.KindOf(name) != fmu.VarParameter {
+			return nil, "", fmt.Errorf("%q is not a parameter", name)
+		}
+		lo, hi, err := s.parameterBounds(modelID, name)
+		if err != nil {
+			return nil, "", err
+		}
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return nil, "", fmt.Errorf("parameter %q has no min/max bounds; set them with fmu_set_minimum/fmu_set_maximum", name)
+		}
+		specs[i] = estimate.ParamSpec{Name: name, Lo: lo, Hi: hi}
+	}
+
+	return &estimate.Problem{
+		Instance: inst,
+		Params:   specs,
+		Inputs:   inputs,
+		Measured: measured,
+	}, modelID, nil
+}
+
+func columnNames(in *inputData) []string {
+	out := make([]string, 0, len(in.series))
+	for k := range in.series {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ValidateInstance computes the RMSE of an instance's current parameters
+// against a hold-out query — the workflow's model-validation step.
+func (s *Session) ValidateInstance(instanceID, inputSQL string, pars []string) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.validateLocked(instanceID, inputSQL, pars)
+}
+
+func (s *Session) validateLocked(instanceID, inputSQL string, pars []string) (float64, error) {
+	problem, _, err := s.buildProblem(instanceID, inputSQL, pars)
+	if err != nil {
+		return 0, err
+	}
+	if err := problem.Validate(); err != nil {
+		return 0, err
+	}
+	current := make([]float64, len(problem.Params))
+	for i, ps := range problem.Params {
+		v, err := problem.Instance.GetReal(ps.Name)
+		if err != nil {
+			return 0, err
+		}
+		current[i] = v
+	}
+	return problem.Cost(current)
+}
+
+// splitBraceList parses the paper's '{a, b, c}' textual list arguments.
+// Elements are split at top-level commas (parentheses and quotes tracked).
+// For lists of SQL queries — which themselves contain commas — elements are
+// instead split before each top-level SELECT keyword, matching the paper's
+// '{SELECT * FROM m1, SELECT * FROM m2}' example.
+func splitBraceList(s string) []string {
+	trimmed := strings.TrimSpace(s)
+	if strings.HasPrefix(trimmed, "{") && strings.HasSuffix(trimmed, "}") {
+		trimmed = trimmed[1 : len(trimmed)-1]
+	}
+	if strings.TrimSpace(trimmed) == "" {
+		return nil
+	}
+	lower := strings.ToLower(trimmed)
+	if strings.Contains(lower, "select") {
+		return splitSQLList(trimmed)
+	}
+	parts := splitTopLevel(trimmed, ',')
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// splitSQLList splits a brace list of SQL queries at ", select" boundaries.
+func splitSQLList(s string) []string {
+	lower := strings.ToLower(s)
+	var cuts []int
+	depth := 0
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote:
+			if c == '\'' {
+				inQuote = false
+			}
+		case c == '\'':
+			inQuote = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			// Cut here if the next token is SELECT.
+			rest := strings.TrimSpace(lower[i+1:])
+			if strings.HasPrefix(rest, "select") {
+				cuts = append(cuts, i)
+			}
+		case c == ';' && depth == 0:
+			cuts = append(cuts, i)
+		}
+	}
+	var out []string
+	start := 0
+	for _, cut := range cuts {
+		if part := strings.TrimSpace(s[start:cut]); part != "" {
+			out = append(out, part)
+		}
+		start = cut + 1
+	}
+	if part := strings.TrimSpace(s[start:]); part != "" {
+		out = append(out, part)
+	}
+	return out
+}
+
+// splitTopLevel splits s at sep occurrences outside parentheses and quotes.
+func splitTopLevel(s string, sep byte) []string {
+	var parts []string
+	depth := 0
+	inQuote := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote:
+			if c == '\'' {
+				inQuote = false
+			}
+		case c == '\'':
+			inQuote = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == sep && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

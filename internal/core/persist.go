@@ -1,0 +1,129 @@
+package core
+
+import (
+	"encoding/base64"
+	"fmt"
+	"io"
+
+	"repro/internal/fmu"
+)
+
+// The fmustorage table persists the .fmu archives themselves (base64 text),
+// making the catalogue self-contained: a dumped database carries everything
+// needed to rebuild the session — the paper's "FMU storage (non-volatile
+// memory)".
+
+func (s *Session) installStorage() error {
+	_, err := s.db.QueryNested(
+		`CREATE TABLE IF NOT EXISTS fmustorage (modelid text, content text)`)
+	if err != nil {
+		return fmt.Errorf("core: installing FMU storage: %w", err)
+	}
+	return nil
+}
+
+// storeFMU persists the archive bytes for a model.
+func (s *Session) storeFMU(modelID string, data []byte) error {
+	encoded := base64.StdEncoding.EncodeToString(data)
+	_, err := s.db.QueryNested(`INSERT INTO fmustorage VALUES ($1, $2)`, modelID, encoded)
+	return err
+}
+
+// Dump writes the whole environment (catalogue, FMU archives, user tables)
+// as a SQL script.
+func (s *Session) Dump(w io.Writer) error {
+	return s.db.Dump(w)
+}
+
+// RestoreSession rebuilds a live session from a database that carries a
+// dumped pgFMU catalogue: FMUs are re-read from fmustorage and every
+// catalogued instance is re-instantiated with its persisted variable values.
+func RestoreSession(dump io.Reader, opts ...Option) (*Session, error) {
+	s, err := NewSession(opts...)
+	if err != nil {
+		return nil, err
+	}
+	// Drop the freshly installed empty catalogue; the dump recreates it.
+	for _, t := range []string{"model", "modelvariable", "modelinstance", "modelinstancevalues", "fmustorage"} {
+		if _, err := s.db.Exec("DROP TABLE IF EXISTS " + t); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.db.Restore(dump); err != nil {
+		return nil, err
+	}
+	if err := s.rehydrate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rehydrate loads units and instances from the catalogue tables.
+func (s *Session) rehydrate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Required catalogue tables must exist after the restore.
+	for _, t := range []string{"model", "modelvariable", "modelinstance", "modelinstancevalues", "fmustorage"} {
+		if !s.db.HasTable(t) {
+			return fmt.Errorf("core: restored database is missing catalogue table %q", t)
+		}
+	}
+
+	stored, err := s.db.QueryNested(`SELECT modelid, content FROM fmustorage`)
+	if err != nil {
+		return err
+	}
+	for _, row := range stored.Rows {
+		modelID := row[0].AsText()
+		data, err := base64.StdEncoding.DecodeString(row[1].AsText())
+		if err != nil {
+			return fmt.Errorf("core: decoding stored FMU %s: %w", modelID, err)
+		}
+		unit, err := fmu.Read(data)
+		if err != nil {
+			return fmt.Errorf("core: reading stored FMU %s: %w", modelID, err)
+		}
+		if unit.GUID.String() != modelID {
+			return fmt.Errorf("core: stored FMU %s has mismatched GUID %s", modelID, unit.GUID)
+		}
+		s.units[modelID] = unit
+	}
+
+	instances, err := s.db.QueryNested(`SELECT instanceid, modelid FROM modelinstance`)
+	if err != nil {
+		return err
+	}
+	for _, row := range instances.Rows {
+		instanceID, modelID := row[0].AsText(), row[1].AsText()
+		unit, ok := s.units[modelID]
+		if !ok {
+			return fmt.Errorf("core: instance %q references unknown model %q", instanceID, modelID)
+		}
+		inst := unit.Instantiate(instanceID)
+		values, err := s.db.QueryNested(
+			`SELECT varname, value FROM modelinstancevalues WHERE instanceid = $1`, instanceID)
+		if err != nil {
+			return err
+		}
+		for _, vr := range values.Rows {
+			if vr[1].IsNull() {
+				continue
+			}
+			f, err := vr[1].AsFloat()
+			if err != nil {
+				continue // non-numeric catalogue value: leave the default
+			}
+			// Outputs are not settable; skip silently.
+			if inst.KindOf(vr[0].AsText()) == fmu.VarOutput {
+				continue
+			}
+			if err := inst.SetReal(vr[0].AsText(), f); err != nil {
+				return fmt.Errorf("core: restoring %s.%s: %w", instanceID, vr[0].AsText(), err)
+			}
+		}
+		s.instances[instanceID] = inst
+		s.instanceModel[instanceID] = modelID
+	}
+	return nil
+}

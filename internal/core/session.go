@@ -1,0 +1,549 @@
+// Package core implements pgFMU itself — the paper's contribution: an
+// in-DBMS model- and data-management environment for FMU-based physical
+// models. A Session owns the model catalogue (the four tables of Figure 4:
+// Model, ModelVariable, ModelInstance, ModelInstanceValues), the FMU storage,
+// and the UDF suite (fmu_create, fmu_copy, fmu_variables, fmu_get,
+// fmu_set_initial/minimum/maximum, fmu_reset, fmu_delete_instance,
+// fmu_delete_model, fmu_parest, fmu_simulate), registered into the embedded
+// SQL engine so every operation is reachable from plain SQL queries exactly
+// as in §5–§7.
+package core
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/estimate"
+	"repro/internal/fmu"
+	"repro/internal/sqldb"
+	"repro/internal/variant"
+)
+
+// Session is one pgFMU environment: a database with the model catalogue
+// installed, the in-memory FMU storage, and live model instances.
+type Session struct {
+	db *sqldb.DB
+
+	mu sync.Mutex
+	// units is the FMU storage: one loaded Unit per model UUID. Loading an
+	// FMU once and sharing it across instances is one of the paper's
+	// Challenge-3 optimizations.
+	units map[string]*fmu.Unit
+	// instances maps instanceId to its live runtime instance.
+	instances map[string]*fmu.Instance
+	// instanceModel maps instanceId to its parent model UUID.
+	instanceModel map[string]string
+	// seq feeds generated instance identifiers.
+	seq int
+
+	// miOptimization enables the multi-instance warm-start path (pgFMU+).
+	miOptimization bool
+	// threshold is the MI similarity gate (relative L2); the paper sets 20%.
+	threshold float64
+	// estOpts configures the underlying estimator.
+	estOpts estimate.Options
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithMIOptimization toggles the multi-instance optimization; on is the
+// pgFMU+ configuration, off is pgFMU-.
+func WithMIOptimization(on bool) Option {
+	return func(s *Session) { s.miOptimization = on }
+}
+
+// WithThreshold sets the MI similarity gate (relative L2 fraction).
+func WithThreshold(t float64) Option {
+	return func(s *Session) { s.threshold = t }
+}
+
+// WithEstimateOptions overrides the estimator configuration.
+func WithEstimateOptions(o estimate.Options) Option {
+	return func(s *Session) { s.estOpts = o }
+}
+
+// NewSession creates a database, installs the model catalogue and all pgFMU
+// UDFs, and returns the session. MI optimization defaults to on (pgFMU+)
+// with the paper's 20% threshold.
+func NewSession(opts ...Option) (*Session, error) {
+	s := &Session{
+		db:             sqldb.New(),
+		units:          make(map[string]*fmu.Unit),
+		instances:      make(map[string]*fmu.Instance),
+		instanceModel:  make(map[string]string),
+		miOptimization: true,
+		threshold:      estimate.DefaultSimilarityThreshold,
+		estOpts: estimate.Options{
+			GA: estimate.GAOptions{Population: 24, Generations: 16, Seed: 1},
+		},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := s.installCatalog(); err != nil {
+		return nil, err
+	}
+	if err := s.installStorage(); err != nil {
+		return nil, err
+	}
+	s.registerUDFs()
+	return s, nil
+}
+
+// DB exposes the underlying database for direct SQL.
+func (s *Session) DB() *sqldb.DB { return s.db }
+
+// installCatalog creates the Figure-4 model catalogue tables.
+func (s *Session) installCatalog() error {
+	ddl := []string{
+		`CREATE TABLE IF NOT EXISTS model (
+			modelid text, modelname text, fmusize int)`,
+		`CREATE TABLE IF NOT EXISTS modelvariable (
+			modelid text, varname text, vartype text,
+			initialvalue variant, minvalue variant, maxvalue variant)`,
+		`CREATE TABLE IF NOT EXISTS modelinstance (
+			instanceid text, modelid text)`,
+		`CREATE TABLE IF NOT EXISTS modelinstancevalues (
+			modelid text, instanceid text, varname text, value variant)`,
+	}
+	for _, q := range ddl {
+		if _, err := s.db.QueryNested(q); err != nil {
+			return fmt.Errorf("core: installing catalogue: %w", err)
+		}
+	}
+	return nil
+}
+
+// varType classifies a scalar variable for the ModelVariable table, matching
+// the paper's terminology (input/output/parameter/state).
+func varTypeOf(inst *fmu.Instance, name string) string {
+	switch inst.KindOf(name) {
+	case fmu.VarParameter:
+		return "parameter"
+	case fmu.VarInput:
+		return "input"
+	case fmu.VarState:
+		return "state"
+	case fmu.VarOutput:
+		return "output"
+	default:
+		return "unknown"
+	}
+}
+
+// Create implements fmu_create (Algorithm 1): load or compile modelRef,
+// store the FMU in FMU storage, fill the catalogue, and register the
+// instance. modelRef may be a .fmu path, a .mo path, or inline Modelica.
+// instanceID may be empty to auto-generate one.
+func (s *Session) Create(modelRef, instanceID string) (string, error) {
+	unit, err := resolveModelRef(modelRef)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.createLocked(unit, instanceID)
+}
+
+func (s *Session) createLocked(unit *fmu.Unit, instanceID string) (string, error) {
+	modelID := unit.GUID.String()
+
+	if instanceID == "" {
+		s.seq++
+		instanceID = fmt.Sprintf("%s_instance_%d", unit.Model.Name, s.seq)
+	}
+	if _, exists := s.instances[instanceID]; exists {
+		return "", fmt.Errorf("core: instance %q already exists", instanceID)
+	}
+
+	// Reuse the stored FMU if this model is already loaded (Challenge 3).
+	stored, known := s.units[modelID]
+	if known {
+		unit = stored
+	} else {
+		s.units[modelID] = unit
+		data, err := unit.Bytes()
+		if err != nil {
+			return "", err
+		}
+		if _, err := s.db.QueryNested(
+			`INSERT INTO model VALUES ($1, $2, $3)`,
+			modelID, unit.Model.Name, len(data)); err != nil {
+			return "", err
+		}
+		if err := s.storeFMU(modelID, data); err != nil {
+			return "", err
+		}
+		// ModelVariable rows: one per scalar variable with initial/min/max.
+		probe := unit.Instantiate("probe")
+		for _, sv := range unit.Description.ModelVariables.Variables {
+			initial, minV, maxV := variantAttr(sv)
+			if _, err := s.db.QueryNested(
+				`INSERT INTO modelvariable VALUES ($1, $2, $3, $4, $5, $6)`,
+				modelID, sv.Name, varTypeOf(probe, sv.Name), initial, minV, maxV); err != nil {
+				return "", err
+			}
+		}
+	}
+
+	inst := unit.Instantiate(instanceID)
+	s.instances[instanceID] = inst
+	s.instanceModel[instanceID] = modelID
+	if _, err := s.db.QueryNested(`INSERT INTO modelinstance VALUES ($1, $2)`, instanceID, modelID); err != nil {
+		return "", err
+	}
+	// ModelInstanceValues: current values of every settable variable.
+	for _, sv := range unit.Description.ModelVariables.Variables {
+		v, err := inst.GetReal(sv.Name)
+		val := variant.NewNull()
+		if err == nil {
+			val = variant.NewFloat(v)
+		}
+		if _, err := s.db.QueryNested(
+			`INSERT INTO modelinstancevalues VALUES ($1, $2, $3, $4)`,
+			modelID, instanceID, sv.Name, val); err != nil {
+			return "", err
+		}
+	}
+	return instanceID, nil
+}
+
+// variantAttr converts the XML attributes to variant catalogue values.
+func variantAttr(sv fmu.ScalarVariable) (initial, minV, maxV variant.Value) {
+	initial, minV, maxV = variant.NewNull(), variant.NewNull(), variant.NewNull()
+	if sv.Real == nil {
+		return
+	}
+	if sv.Real.Start != "" {
+		initial = variant.Parse(sv.Real.Start)
+	}
+	if sv.Real.Min != "" {
+		minV = variant.Parse(sv.Real.Min)
+	}
+	if sv.Real.Max != "" {
+		maxV = variant.Parse(sv.Real.Max)
+	}
+	return
+}
+
+// resolveModelRef turns a model reference into a Unit: a .fmu file path, a
+// .mo file path, or inline Modelica source.
+func resolveModelRef(modelRef string) (*fmu.Unit, error) {
+	ref := strings.TrimSpace(modelRef)
+	switch {
+	case strings.HasSuffix(ref, ".fmu"):
+		return fmu.Load(ref)
+	case strings.HasSuffix(ref, ".mo"):
+		src, err := os.ReadFile(ref)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading %s: %w", ref, err)
+		}
+		return fmu.CompileModelica(string(src))
+	case strings.Contains(ref, "model "):
+		return fmu.CompileModelica(ref)
+	default:
+		return nil, fmt.Errorf("core: model reference %q is neither a .fmu path, a .mo path, nor inline Modelica", modelRef)
+	}
+}
+
+// instance fetches a live instance by id.
+func (s *Session) instance(instanceID string) (*fmu.Instance, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.instanceLocked(instanceID)
+}
+
+func (s *Session) instanceLocked(instanceID string) (*fmu.Instance, string, error) {
+	inst, ok := s.instances[instanceID]
+	if !ok {
+		return nil, "", fmt.Errorf("core: unknown model instance %q", instanceID)
+	}
+	return inst, s.instanceModel[instanceID], nil
+}
+
+// Copy implements fmu_copy: duplicate an instance (values included) under a
+// new identifier, reusing the stored FMU.
+func (s *Session) Copy(instanceID, newInstanceID string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, modelID, err := s.instanceLocked(instanceID)
+	if err != nil {
+		return "", err
+	}
+	if newInstanceID == "" {
+		s.seq++
+		newInstanceID = fmt.Sprintf("%s_copy_%d", instanceID, s.seq)
+	}
+	if _, exists := s.instances[newInstanceID]; exists {
+		return "", fmt.Errorf("core: instance %q already exists", newInstanceID)
+	}
+	clone := inst.Clone(newInstanceID)
+	s.instances[newInstanceID] = clone
+	s.instanceModel[newInstanceID] = modelID
+	if _, err := s.db.QueryNested(`INSERT INTO modelinstance VALUES ($1, $2)`, newInstanceID, modelID); err != nil {
+		return "", err
+	}
+	unit := s.units[modelID]
+	for _, sv := range unit.Description.ModelVariables.Variables {
+		v, err := clone.GetReal(sv.Name)
+		val := variant.NewNull()
+		if err == nil {
+			val = variant.NewFloat(v)
+		}
+		if _, err := s.db.QueryNested(
+			`INSERT INTO modelinstancevalues VALUES ($1, $2, $3, $4)`,
+			modelID, newInstanceID, sv.Name, val); err != nil {
+			return "", err
+		}
+	}
+	return newInstanceID, nil
+}
+
+// setValue updates one variable on an instance and mirrors it to the
+// catalogue; which of initial/min/max is written depends on attr.
+func (s *Session) setValue(instanceID, varName, attr string, value float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setValueLocked(instanceID, varName, attr, value)
+}
+
+func (s *Session) setValueLocked(instanceID, varName, attr string, value float64) error {
+	inst, modelID, err := s.instanceLocked(instanceID)
+	if err != nil {
+		return err
+	}
+	switch attr {
+	case "initial":
+		if err := inst.SetReal(varName, value); err != nil {
+			return err
+		}
+		if _, err := s.db.QueryNested(
+			`UPDATE modelinstancevalues SET value = $1
+			 WHERE instanceid = $2 AND varname = $3`,
+			value, instanceID, varName); err != nil {
+			return err
+		}
+	case "min", "max":
+		if inst.KindOf(varName) == fmu.VarUnknown {
+			return fmt.Errorf("core: model has no variable %q", varName)
+		}
+		col := "minvalue"
+		if attr == "max" {
+			col = "maxvalue"
+		}
+		if _, err := s.db.QueryNested(
+			`UPDATE modelvariable SET `+col+` = $1
+			 WHERE modelid = $2 AND varname = $3`,
+			value, modelID, varName); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: unknown attribute %q", attr)
+	}
+	return nil
+}
+
+// SetInitial implements fmu_set_initial.
+func (s *Session) SetInitial(instanceID, varName string, value float64) error {
+	return s.setValue(instanceID, varName, "initial", value)
+}
+
+// SetMinimum implements fmu_set_minimum.
+func (s *Session) SetMinimum(instanceID, varName string, value float64) error {
+	return s.setValue(instanceID, varName, "min", value)
+}
+
+// SetMaximum implements fmu_set_maximum.
+func (s *Session) SetMaximum(instanceID, varName string, value float64) error {
+	return s.setValue(instanceID, varName, "max", value)
+}
+
+// Get implements fmu_get: the current value plus catalogue min/max for one
+// variable.
+func (s *Session) Get(instanceID, varName string) (initial, minV, maxV variant.Value, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(instanceID, varName)
+}
+
+func (s *Session) getLocked(instanceID, varName string) (initial, minV, maxV variant.Value, err error) {
+	inst, modelID, err := s.instanceLocked(instanceID)
+	if err != nil {
+		return variant.Value{}, variant.Value{}, variant.Value{}, err
+	}
+	initial = variant.NewNull()
+	if v, gerr := inst.GetReal(varName); gerr == nil {
+		initial = variant.NewFloat(v)
+	} else if inst.KindOf(varName) == fmu.VarUnknown {
+		return variant.Value{}, variant.Value{}, variant.Value{}, fmt.Errorf("core: model has no variable %q", varName)
+	}
+	rs, err := s.db.QueryNested(
+		`SELECT minvalue, maxvalue FROM modelvariable WHERE modelid = $1 AND varname = $2`,
+		modelID, varName)
+	if err != nil {
+		return variant.Value{}, variant.Value{}, variant.Value{}, err
+	}
+	minV, maxV = variant.NewNull(), variant.NewNull()
+	if len(rs.Rows) > 0 {
+		minV, maxV = rs.Rows[0][0], rs.Rows[0][1]
+	}
+	return initial, minV, maxV, nil
+}
+
+// Reset implements fmu_reset: restore the instance to model defaults and
+// refresh the catalogue values.
+func (s *Session) Reset(instanceID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, modelID, err := s.instanceLocked(instanceID)
+	if err != nil {
+		return err
+	}
+	inst.Reset()
+	unit := s.units[modelID]
+	for _, sv := range unit.Description.ModelVariables.Variables {
+		v, err := inst.GetReal(sv.Name)
+		val := variant.NewNull()
+		if err == nil {
+			val = variant.NewFloat(v)
+		}
+		if _, err := s.db.QueryNested(
+			`UPDATE modelinstancevalues SET value = $1
+			 WHERE instanceid = $2 AND varname = $3`,
+			val, instanceID, sv.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteInstance implements fmu_delete_instance.
+func (s *Session) DeleteInstance(instanceID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.instances[instanceID]; !ok {
+		return fmt.Errorf("core: unknown model instance %q", instanceID)
+	}
+	delete(s.instances, instanceID)
+	delete(s.instanceModel, instanceID)
+	if _, err := s.db.QueryNested(`DELETE FROM modelinstance WHERE instanceid = $1`, instanceID); err != nil {
+		return err
+	}
+	_, err := s.db.QueryNested(`DELETE FROM modelinstancevalues WHERE instanceid = $1`, instanceID)
+	return err
+}
+
+// DeleteModel implements fmu_delete_model: remove the FMU and cascade to all
+// its instances.
+func (s *Session) DeleteModel(modelID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.units[modelID]; !ok {
+		return fmt.Errorf("core: unknown model %q", modelID)
+	}
+	delete(s.units, modelID)
+	for id, mid := range s.instanceModel {
+		if mid == modelID {
+			delete(s.instances, id)
+			delete(s.instanceModel, id)
+		}
+	}
+	for _, q := range []string{
+		`DELETE FROM model WHERE modelid = $1`,
+		`DELETE FROM modelvariable WHERE modelid = $1`,
+		`DELETE FROM modelinstance WHERE modelid = $1`,
+		`DELETE FROM modelinstancevalues WHERE modelid = $1`,
+		`DELETE FROM fmustorage WHERE modelid = $1`,
+	} {
+		if _, err := s.db.QueryNested(q, modelID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ModelIDOf reports the parent model UUID of an instance.
+func (s *Session) ModelIDOf(instanceID string) (string, error) {
+	_, modelID, err := s.instance(instanceID)
+	return modelID, err
+}
+
+// InstanceIDs lists live instances (sorted by creation is not guaranteed).
+func (s *Session) InstanceIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.instances))
+	for id := range s.instances {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Variables implements fmu_variables: the catalogue view of all variables of
+// an instance with current initial values.
+func (s *Session) Variables(instanceID string) (*sqldb.ResultSet, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.variablesLocked(instanceID)
+}
+
+func (s *Session) variablesLocked(instanceID string) (*sqldb.ResultSet, error) {
+	inst, modelID, err := s.instanceLocked(instanceID)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := s.db.QueryNested(
+		`SELECT varname, vartype, minvalue, maxvalue FROM modelvariable WHERE modelid = $1`,
+		modelID)
+	if err != nil {
+		return nil, err
+	}
+	out := &sqldb.ResultSet{Columns: []sqldb.Column{
+		{Name: "instanceId", Type: "text"},
+		{Name: "varName", Type: "text"},
+		{Name: "varType", Type: "text"},
+		{Name: "initialValue", Type: "variant"},
+		{Name: "minValue", Type: "variant"},
+		{Name: "maxValue", Type: "variant"},
+	}}
+	for _, r := range rs.Rows {
+		name := r[0].AsText()
+		initial := variant.NewNull()
+		if v, gerr := inst.GetReal(name); gerr == nil {
+			initial = variant.NewFloat(v)
+		}
+		out.Rows = append(out.Rows, sqldb.Row{
+			variant.NewText(instanceID), r[0], r[1], initial, r[2], r[3],
+		})
+	}
+	return out, nil
+}
+
+// parameterBounds reads the estimation bounds for a parameter from the
+// catalogue, falling back to the model metadata.
+func (s *Session) parameterBounds(modelID, varName string) (lo, hi float64, err error) {
+	rs, err := s.db.QueryNested(
+		`SELECT minvalue, maxvalue FROM modelvariable WHERE modelid = $1 AND varname = $2`,
+		modelID, varName)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi = math.NaN(), math.NaN()
+	if len(rs.Rows) > 0 {
+		if !rs.Rows[0][0].IsNull() {
+			if f, err := rs.Rows[0][0].AsFloat(); err == nil {
+				lo = f
+			}
+		}
+		if !rs.Rows[0][1].IsNull() {
+			if f, err := rs.Rows[0][1].AsFloat(); err == nil {
+				hi = f
+			}
+		}
+	}
+	return lo, hi, nil
+}

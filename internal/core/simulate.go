@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/fmu"
+	"repro/internal/sqldb"
+	"repro/internal/timeseries"
+	"repro/internal/variant"
+)
+
+// SimulateRequest configures fmu_simulate beyond the SQL-facing arguments.
+type SimulateRequest struct {
+	// InstanceID names the model instance to simulate.
+	InstanceID string
+	// InputSQL optionally supplies measured input series; empty simulates
+	// from instance input values alone.
+	InputSQL string
+	// TimeFrom/TimeTo bound the simulation; nil derives the window from the
+	// input data or, failing that, the model's default experiment
+	// (Algorithm 4 lines 7–9).
+	TimeFrom, TimeTo *float64
+	// OutputStep overrides the communication-grid spacing; 0 uses the
+	// model's default experiment step.
+	OutputStep float64
+}
+
+// Simulate implements fmu_simulate (Algorithm 4). The result table has the
+// paper's Table 4 shape: (simulationTime, instanceId, varName, value) with
+// one row per variable per communication point.
+func (s *Session) Simulate(req SimulateRequest) (*sqldb.ResultSet, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simulateLocked(req)
+}
+
+func (s *Session) simulateLocked(req SimulateRequest) (*sqldb.ResultSet, error) {
+	inst, modelID, err := s.instanceLocked(req.InstanceID)
+	if err != nil {
+		return nil, err
+	}
+	unit := s.units[modelID]
+
+	// Stage 1: build the input object from the query result (Challenge 2).
+	var in *inputData
+	if req.InputSQL != "" {
+		rs, err := s.db.QueryNested(req.InputSQL)
+		if err != nil {
+			return nil, fmt.Errorf("core: input query: %w", err)
+		}
+		in, err = decodeInput(rs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	inputs := make(map[string]*timeseries.Series)
+	if in != nil {
+		for _, mi := range unit.Model.Inputs {
+			if series := in.get(mi.Name); series != nil {
+				inputs[mi.Name] = series
+			}
+		}
+	}
+
+	// Stage 2: determine the simulation window.
+	var t0, t1 float64
+	switch {
+	case req.TimeFrom != nil && req.TimeTo != nil:
+		t0, t1 = *req.TimeFrom, *req.TimeTo
+	case req.TimeFrom != nil || req.TimeTo != nil:
+		return nil, fmt.Errorf("core: incomplete simulation time interval: both time_from and time_to are required")
+	case in != nil:
+		t0, t1, err = in.window()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		t0, t1, err = unit.DefaultInterval()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("core: empty simulation interval [%v, %v]", t0, t1)
+	}
+
+	step := req.OutputStep
+	if step <= 0 && in != nil {
+		// Align communication points with the input sampling grid, the way
+		// PyFMI derives ncp from the input object.
+		if n := maxSeriesLen(in); n > 1 {
+			step = (t1 - t0) / float64(n-1)
+		}
+	}
+	if step <= 0 {
+		if ds, err := unit.DefaultStep(); err == nil && !math.IsNaN(ds) && ds > 0 && ds <= t1-t0 {
+			step = ds
+		} else {
+			step = (t1 - t0) / 100
+		}
+	}
+
+	res, err := inst.Simulate(inputs, t0, t1, &fmu.SimOptions{OutputStep: step})
+	if err != nil {
+		return nil, err
+	}
+
+	// Mirror the state initial values used by this run into the catalogue
+	// (the paper notes fmu_simulate example queries update
+	// ModelInstanceValues).
+	for _, st := range unit.Model.States {
+		if v, gerr := inst.GetReal(st.Name); gerr == nil {
+			if _, err := s.db.QueryNested(
+				`UPDATE modelinstancevalues SET value = $1
+				 WHERE instanceid = $2 AND varname = $3`,
+				v, req.InstanceID, st.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	timestamps := in != nil && in.timeIsTimestamp
+	return simResultToTable(req.InstanceID, res, timestamps), nil
+}
+
+// maxSeriesLen reports the longest input series length.
+func maxSeriesLen(in *inputData) int {
+	n := 0
+	for _, s := range in.series {
+		if s.Len() > n {
+			n = s.Len()
+		}
+	}
+	return n
+}
+
+// simResultToTable renders a simulation result in the Table-4 long format.
+func simResultToTable(instanceID string, res *fmu.SimResult, timestamps bool) *sqldb.ResultSet {
+	out := &sqldb.ResultSet{Columns: []sqldb.Column{
+		{Name: "simulationTime", Type: "variant"},
+		{Name: "instanceId", Type: "text"},
+		{Name: "varName", Type: "text"},
+		{Name: "value", Type: "float"},
+	}}
+	cols := append([]string(nil), res.Frame.Columns...)
+	sort.Strings(cols)
+	instVal := variant.NewText(instanceID)
+	for i, t := range res.Frame.Times {
+		var tv variant.Value
+		if timestamps {
+			tv = variant.NewTime(time.Unix(int64(t), 0).UTC())
+		} else {
+			tv = variant.NewFloat(t)
+		}
+		for _, c := range cols {
+			out.Rows = append(out.Rows, sqldb.Row{
+				tv, instVal, variant.NewText(c), variant.NewFloat(res.Frame.Data[c][i]),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqldb"
+	"repro/internal/variant"
+)
+
+// registerUDFs wires the pgFMU UDF suite into the SQL engine. All UDFs run
+// while the database lock is held, so they use the session's *Locked paths
+// (nested queries only).
+func (s *Session) registerUDFs() {
+	db := s.db
+
+	// fmu_create(modelRef [, instanceId]) -> instanceId
+	db.RegisterScalar("fmu_create", func(_ *sqldb.DB, args []variant.Value) (variant.Value, error) {
+		if len(args) != 1 && len(args) != 2 {
+			return variant.Value{}, fmt.Errorf("fmu_create(modelRef [, instanceId]) expects 1 or 2 arguments")
+		}
+		modelRef := args[0].AsText()
+		instanceID := ""
+		if len(args) == 2 {
+			instanceID = args[1].AsText()
+		}
+		// The paper's queries also appear with the arguments swapped
+		// (fmu_create('HP0Instance1', '/tmp/model.mo')); detect and accept.
+		if len(args) == 2 && !looksLikeModelRef(modelRef) && looksLikeModelRef(instanceID) {
+			modelRef, instanceID = instanceID, modelRef
+		}
+		unit, err := resolveModelRef(modelRef)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		id, err := s.createLocked(unit, instanceID)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewText(id), nil
+	})
+
+	// fmu_copy(instanceId [, instanceId2]) -> instanceId2
+	db.RegisterScalar("fmu_copy", func(_ *sqldb.DB, args []variant.Value) (variant.Value, error) {
+		if len(args) != 1 && len(args) != 2 {
+			return variant.Value{}, fmt.Errorf("fmu_copy(instanceId [, instanceId2]) expects 1 or 2 arguments")
+		}
+		newID := ""
+		if len(args) == 2 {
+			newID = args[1].AsText()
+		}
+		id, err := s.Copy(args[0].AsText(), newID)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewText(id), nil
+	})
+
+	// fmu_variables(instanceId) -> table
+	db.RegisterTable("fmu_variables", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("fmu_variables(instanceId) expects 1 argument")
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.variablesLocked(args[0].AsText())
+	})
+
+	// fmu_get(instanceId, varName) -> table(initialValue, minValue, maxValue)
+	db.RegisterTable("fmu_get", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("fmu_get(instanceId, varName) expects 2 arguments")
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		initial, minV, maxV, err := s.getLocked(args[0].AsText(), args[1].AsText())
+		if err != nil {
+			return nil, err
+		}
+		return &sqldb.ResultSet{
+			Columns: []sqldb.Column{
+				{Name: "initialValue", Type: "variant"},
+				{Name: "minValue", Type: "variant"},
+				{Name: "maxValue", Type: "variant"},
+			},
+			Rows: []sqldb.Row{{initial, minV, maxV}},
+		}, nil
+	})
+
+	setter := func(name, attr string) {
+		db.RegisterScalar(name, func(_ *sqldb.DB, args []variant.Value) (variant.Value, error) {
+			if len(args) != 3 {
+				return variant.Value{}, fmt.Errorf("%s(instanceId, varName, value) expects 3 arguments", name)
+			}
+			v, err := args[2].AsFloat()
+			if err != nil {
+				return variant.Value{}, fmt.Errorf("%s: %w", name, err)
+			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if err := s.setValueLocked(args[0].AsText(), args[1].AsText(), attr, v); err != nil {
+				return variant.Value{}, err
+			}
+			return args[0], nil
+		})
+	}
+	setter("fmu_set_initial", "initial")
+	setter("fmu_set_minimum", "min")
+	setter("fmu_set_maximum", "max")
+
+	// fmu_reset(instanceId) -> instanceId
+	db.RegisterScalar("fmu_reset", func(_ *sqldb.DB, args []variant.Value) (variant.Value, error) {
+		if len(args) != 1 {
+			return variant.Value{}, fmt.Errorf("fmu_reset(instanceId) expects 1 argument")
+		}
+		if err := s.Reset(args[0].AsText()); err != nil {
+			return variant.Value{}, err
+		}
+		return args[0], nil
+	})
+
+	// fmu_delete_instance(instanceId)
+	db.RegisterScalar("fmu_delete_instance", func(_ *sqldb.DB, args []variant.Value) (variant.Value, error) {
+		if len(args) != 1 {
+			return variant.Value{}, fmt.Errorf("fmu_delete_instance(instanceId) expects 1 argument")
+		}
+		if err := s.DeleteInstance(args[0].AsText()); err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewBool(true), nil
+	})
+
+	// fmu_delete_model(modelId)
+	db.RegisterScalar("fmu_delete_model", func(_ *sqldb.DB, args []variant.Value) (variant.Value, error) {
+		if len(args) != 1 {
+			return variant.Value{}, fmt.Errorf("fmu_delete_model(modelId) expects 1 argument")
+		}
+		if err := s.DeleteModel(args[0].AsText()); err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewBool(true), nil
+	})
+
+	// fmu_parest(instanceIds, input_sqls [, pars [, threshold]])
+	//   -> '{rmse1, rmse2, ...}' (the paper's estimationErrors list)
+	db.RegisterScalar("fmu_parest", func(_ *sqldb.DB, args []variant.Value) (variant.Value, error) {
+		results, err := s.parestFromArgs(args)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		parts := make([]string, len(results))
+		for i, r := range results {
+			parts[i] = strconv.FormatFloat(r.RMSE, 'g', 6, 64)
+		}
+		return variant.NewText("{" + strings.Join(parts, ", ") + "}"), nil
+	})
+
+	// fmu_parest_report(...) -> table(instanceId, rmse, warm_start) for
+	// analytical use of estimation outcomes.
+	db.RegisterTable("fmu_parest_report", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
+		results, err := s.parestFromArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		out := &sqldb.ResultSet{Columns: []sqldb.Column{
+			{Name: "instanceId", Type: "text"},
+			{Name: "rmse", Type: "float"},
+			{Name: "warm_start", Type: "boolean"},
+		}}
+		for _, r := range results {
+			out.Rows = append(out.Rows, sqldb.Row{
+				variant.NewText(r.InstanceID),
+				variant.NewFloat(r.RMSE),
+				variant.NewBool(r.UsedWarmStart),
+			})
+		}
+		return out, nil
+	})
+
+	// fmu_validate(instanceId, input_sql [, pars]) -> rmse
+	db.RegisterScalar("fmu_validate", func(_ *sqldb.DB, args []variant.Value) (variant.Value, error) {
+		if len(args) != 2 && len(args) != 3 {
+			return variant.Value{}, fmt.Errorf("fmu_validate(instanceId, input_sql [, pars]) expects 2 or 3 arguments")
+		}
+		var pars []string
+		if len(args) == 3 {
+			pars = splitBraceList(args[2].AsText())
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		rmse, err := s.validateLocked(args[0].AsText(), args[1].AsText(), pars)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewFloat(rmse), nil
+	})
+
+	// fmu_simulate(instanceId [, input_sql [, time_from, time_to]])
+	//   -> table(simulationTime, instanceId, varName, value)
+	db.RegisterTable("fmu_simulate", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
+		if len(args) < 1 || len(args) > 4 {
+			return nil, fmt.Errorf("fmu_simulate(instanceId [, input_sql [, time_from, time_to]]) expects 1–4 arguments")
+		}
+		req := SimulateRequest{InstanceID: args[0].AsText()}
+		if len(args) >= 2 && !args[1].IsNull() {
+			req.InputSQL = args[1].AsText()
+		}
+		if len(args) == 3 {
+			return nil, fmt.Errorf("core: incomplete simulation time interval: both time_from and time_to are required")
+		}
+		if len(args) == 4 {
+			from, err := timeArg(args[2])
+			if err != nil {
+				return nil, fmt.Errorf("time_from: %w", err)
+			}
+			to, err := timeArg(args[3])
+			if err != nil {
+				return nil, fmt.Errorf("time_to: %w", err)
+			}
+			req.TimeFrom, req.TimeTo = &from, &to
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.simulateLocked(req)
+	})
+
+	s.registerControlUDF()
+
+	// fmu_models() -> catalogue summary for interactive inspection.
+	db.RegisterTable("fmu_models", func(d *sqldb.DB, _ []variant.Value) (*sqldb.ResultSet, error) {
+		return d.QueryNested(`SELECT modelid, modelname, fmusize FROM model`)
+	})
+
+	// fmu_instances() -> live instance listing.
+	db.RegisterTable("fmu_instances", func(d *sqldb.DB, _ []variant.Value) (*sqldb.ResultSet, error) {
+		return d.QueryNested(`SELECT instanceid, modelid FROM modelinstance`)
+	})
+}
+
+// parestFromArgs decodes the paper's brace-list UDF argument convention.
+func (s *Session) parestFromArgs(args []variant.Value) ([]ParestResult, error) {
+	if len(args) < 2 || len(args) > 4 {
+		return nil, fmt.Errorf("fmu_parest(instanceIds, input_sqls [, pars [, threshold]]) expects 2–4 arguments")
+	}
+	instanceIDs := splitBraceList(args[0].AsText())
+	inputSQLs := splitBraceList(args[1].AsText())
+	var pars []string
+	if len(args) >= 3 && !args[2].IsNull() {
+		pars = splitBraceList(args[2].AsText())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(args) == 4 && !args[3].IsNull() {
+		t, err := args[3].AsFloat()
+		if err != nil {
+			return nil, fmt.Errorf("threshold: %w", err)
+		}
+		old := s.threshold
+		s.threshold = t
+		defer func() { s.threshold = old }()
+	}
+	return s.parestLocked(instanceIDs, inputSQLs, pars)
+}
+
+// timeArg converts a SQL time_from/time_to argument (number or timestamp)
+// to model time seconds.
+func timeArg(v variant.Value) (float64, error) {
+	if v.Kind() == variant.Time {
+		return float64(v.Time().Unix()), nil
+	}
+	if v.Kind() == variant.Text {
+		if t, err := v.AsTime(); err == nil {
+			return float64(t.Unix()), nil
+		}
+	}
+	return v.AsFloat()
+}
+
+// looksLikeModelRef reports whether a string can plausibly be a model
+// reference (used to accept the paper's swapped-argument fmu_create calls).
+func looksLikeModelRef(s string) bool {
+	return strings.HasSuffix(s, ".fmu") || strings.HasSuffix(s, ".mo") || strings.Contains(s, "model ")
+}

@@ -1,0 +1,351 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+)
+
+// LocalOptions configures the gradient-based Local Search — the paper's
+// LaG/LO phase (a projected quasi-Newton method standing in for ModestPy's
+// SQP, with a Nelder–Mead fallback for non-smooth objectives).
+type LocalOptions struct {
+	// MaxIters bounds quasi-Newton iterations; 0 picks 60.
+	MaxIters int
+	// Tol stops when the cost improvement falls below it; 0 picks 1e-9.
+	Tol float64
+	// GradStep is the relative finite-difference step; 0 picks 1e-6.
+	GradStep float64
+	// Phase labels trace points ("LaG" or "LO"); empty picks "LaG".
+	Phase string
+	// Trace enables per-iteration tracking.
+	Trace bool
+	// UseNelderMead switches to the derivative-free simplex method.
+	UseNelderMead bool
+}
+
+func (o LocalOptions) withDefaults() LocalOptions {
+	if o.MaxIters == 0 {
+		o.MaxIters = 100
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.GradStep == 0 {
+		o.GradStep = 1e-4
+	}
+	if o.Phase == "" {
+		o.Phase = "LaG"
+	}
+	return o
+}
+
+// LocalSearch refines start within the problem bounds and returns the
+// optimum, its cost, the number of objective evaluations, and an optional
+// iteration trace.
+func LocalSearch(p *Problem, start []float64, opts LocalOptions) ([]float64, float64, int, []TracePoint, error) {
+	opts = opts.withDefaults()
+	if len(start) != len(p.Params) {
+		return nil, 0, 0, nil, fmt.Errorf("estimate: start point has %d values, want %d", len(start), len(p.Params))
+	}
+	if opts.UseNelderMead {
+		return nelderMead(p, start, opts)
+	}
+	return quasiNewton(p, start, opts)
+}
+
+// quasiNewton is a projected BFGS with backtracking line search and
+// finite-difference gradients.
+func quasiNewton(p *Problem, start []float64, opts LocalOptions) ([]float64, float64, int, []TracePoint, error) {
+	dim := len(start)
+	evals := 0
+	eval := func(x []float64) (float64, error) {
+		evals++
+		return p.Cost(x)
+	}
+	project := func(x []float64) {
+		for i, ps := range p.Params {
+			x[i] = clip(x[i], ps.Lo, ps.Hi)
+		}
+	}
+
+	x := append([]float64(nil), start...)
+	project(x)
+	fx, err := eval(x)
+	if err != nil {
+		return nil, 0, evals, nil, fmt.Errorf("estimate: local search start: %w", err)
+	}
+
+	grad := func(x []float64, fx float64) ([]float64, error) {
+		g := make([]float64, dim)
+		for i, ps := range p.Params {
+			h := opts.GradStep * math.Max(math.Abs(x[i]), 1e-3*(ps.Hi-ps.Lo))
+			if h == 0 {
+				h = opts.GradStep
+			}
+			xp := append([]float64(nil), x...)
+			// One-sided difference away from the nearer bound so probes stay
+			// feasible.
+			if x[i]+h <= ps.Hi {
+				xp[i] = x[i] + h
+				fp, err := eval(xp)
+				if err != nil {
+					return nil, err
+				}
+				g[i] = (fp - fx) / h
+			} else {
+				xp[i] = x[i] - h
+				fm, err := eval(xp)
+				if err != nil {
+					return nil, err
+				}
+				g[i] = (fx - fm) / h
+			}
+		}
+		return g, nil
+	}
+
+	// H is the inverse Hessian approximation, initialised to identity scaled
+	// by parameter ranges so step sizes are well-conditioned.
+	H := make([][]float64, dim)
+	for i := range H {
+		H[i] = make([]float64, dim)
+		span := p.Params[i].Hi - p.Params[i].Lo
+		H[i][i] = span * span * 0.01
+	}
+
+	g, err := grad(x, fx)
+	if err != nil {
+		return nil, 0, evals, nil, err
+	}
+
+	var trace []TracePoint
+	record := func(iter int) {
+		if opts.Trace {
+			trace = append(trace, TracePoint{Phase: opts.Phase, Iter: iter, Params: append([]float64(nil), x...), Cost: fx})
+		}
+	}
+	record(0)
+
+	for iter := 1; iter <= opts.MaxIters; iter++ {
+		// Search direction d = -H g.
+		d := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				d[i] -= H[i][j] * g[j]
+			}
+		}
+		// Ensure descent; fall back to steepest descent otherwise.
+		dg := 0.0
+		for i := range d {
+			dg += d[i] * g[i]
+		}
+		if dg >= 0 {
+			for i := range d {
+				span := p.Params[i].Hi - p.Params[i].Lo
+				d[i] = -g[i] * span * span * 0.01
+			}
+		}
+
+		// Backtracking line search with projection.
+		alpha := 1.0
+		var xNew []float64
+		var fNew float64
+		improved := false
+		for bt := 0; bt < 30; bt++ {
+			xNew = make([]float64, dim)
+			for i := range xNew {
+				xNew[i] = x[i] + alpha*d[i]
+			}
+			project(xNew)
+			fNew, err = eval(xNew)
+			if err != nil {
+				return nil, 0, evals, nil, err
+			}
+			if fNew < fx {
+				improved = true
+				break
+			}
+			alpha *= 0.5
+		}
+		if !improved {
+			break
+		}
+
+		gNew, err := grad(xNew, fNew)
+		if err != nil {
+			return nil, 0, evals, nil, err
+		}
+
+		// BFGS update on the inverse Hessian.
+		s := make([]float64, dim)
+		yv := make([]float64, dim)
+		sy := 0.0
+		for i := 0; i < dim; i++ {
+			s[i] = xNew[i] - x[i]
+			yv[i] = gNew[i] - g[i]
+			sy += s[i] * yv[i]
+		}
+		if sy > 1e-12 {
+			rho := 1 / sy
+			// H = (I - rho s y^T) H (I - rho y s^T) + rho s s^T
+			Hy := make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				for j := 0; j < dim; j++ {
+					Hy[i] += H[i][j] * yv[j]
+				}
+			}
+			yHy := 0.0
+			for i := 0; i < dim; i++ {
+				yHy += yv[i] * Hy[i]
+			}
+			for i := 0; i < dim; i++ {
+				for j := 0; j < dim; j++ {
+					H[i][j] += (sy + yHy) * rho * rho * s[i] * s[j]
+					H[i][j] -= rho * (Hy[i]*s[j] + s[i]*Hy[j])
+				}
+			}
+		}
+
+		delta := fx - fNew
+		x, fx, g = xNew, fNew, gNew
+		record(iter)
+		if delta < opts.Tol {
+			break
+		}
+	}
+	return x, fx, evals, trace, nil
+}
+
+// nelderMead is a bounded simplex search.
+func nelderMead(p *Problem, start []float64, opts LocalOptions) ([]float64, float64, int, []TracePoint, error) {
+	dim := len(start)
+	evals := 0
+	eval := func(x []float64) (float64, error) {
+		evals++
+		xc := append([]float64(nil), x...)
+		for i, ps := range p.Params {
+			xc[i] = clip(xc[i], ps.Lo, ps.Hi)
+		}
+		return p.Cost(xc)
+	}
+
+	// Initial simplex: start plus a perturbed vertex per dimension.
+	simplex := make([][]float64, dim+1)
+	costs := make([]float64, dim+1)
+	simplex[0] = append([]float64(nil), start...)
+	var err error
+	if costs[0], err = eval(simplex[0]); err != nil {
+		return nil, 0, evals, nil, fmt.Errorf("estimate: simplex init: %w", err)
+	}
+	for i := 0; i < dim; i++ {
+		v := append([]float64(nil), start...)
+		step := 0.05 * (p.Params[i].Hi - p.Params[i].Lo)
+		v[i] = clip(v[i]+step, p.Params[i].Lo, p.Params[i].Hi)
+		if v[i] == start[i] { // was at the upper bound
+			v[i] = clip(start[i]-step, p.Params[i].Lo, p.Params[i].Hi)
+		}
+		simplex[i+1] = v
+		if costs[i+1], err = eval(v); err != nil {
+			return nil, 0, evals, nil, err
+		}
+	}
+
+	order := func() {
+		for i := 1; i < len(simplex); i++ {
+			for j := i; j > 0 && costs[j] < costs[j-1]; j-- {
+				costs[j], costs[j-1] = costs[j-1], costs[j]
+				simplex[j], simplex[j-1] = simplex[j-1], simplex[j]
+			}
+		}
+	}
+	order()
+
+	var trace []TracePoint
+	record := func(iter int) {
+		if opts.Trace {
+			trace = append(trace, TracePoint{Phase: opts.Phase, Iter: iter, Params: append([]float64(nil), simplex[0]...), Cost: costs[0]})
+		}
+	}
+	record(0)
+
+	const (
+		reflect  = 1.0
+		expand   = 2.0
+		contract = 0.5
+		shrink   = 0.5
+	)
+	for iter := 1; iter <= opts.MaxIters*dim; iter++ {
+		if costs[len(costs)-1]-costs[0] < opts.Tol {
+			break
+		}
+		// Centroid of all but worst.
+		centroid := make([]float64, dim)
+		for _, v := range simplex[:len(simplex)-1] {
+			for i := range centroid {
+				centroid[i] += v[i]
+			}
+		}
+		for i := range centroid {
+			centroid[i] /= float64(dim)
+		}
+		worst := simplex[len(simplex)-1]
+
+		mix := func(coef float64) []float64 {
+			out := make([]float64, dim)
+			for i := range out {
+				out[i] = centroid[i] + coef*(centroid[i]-worst[i])
+			}
+			for i, ps := range p.Params {
+				out[i] = clip(out[i], ps.Lo, ps.Hi)
+			}
+			return out
+		}
+
+		xr := mix(reflect)
+		fr, err := eval(xr)
+		if err != nil {
+			return nil, 0, evals, nil, err
+		}
+		switch {
+		case fr < costs[0]:
+			xe := mix(expand)
+			fe, err := eval(xe)
+			if err != nil {
+				return nil, 0, evals, nil, err
+			}
+			if fe < fr {
+				simplex[len(simplex)-1], costs[len(costs)-1] = xe, fe
+			} else {
+				simplex[len(simplex)-1], costs[len(costs)-1] = xr, fr
+			}
+		case fr < costs[len(costs)-2]:
+			simplex[len(simplex)-1], costs[len(costs)-1] = xr, fr
+		default:
+			xc := mix(-contract)
+			fc, err := eval(xc)
+			if err != nil {
+				return nil, 0, evals, nil, err
+			}
+			if fc < costs[len(costs)-1] {
+				simplex[len(simplex)-1], costs[len(costs)-1] = xc, fc
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i < len(simplex); i++ {
+					for j := range simplex[i] {
+						simplex[i][j] = simplex[0][j] + shrink*(simplex[i][j]-simplex[0][j])
+					}
+					if costs[i], err = eval(simplex[i]); err != nil {
+						return nil, 0, evals, nil, err
+					}
+				}
+			}
+		}
+		order()
+		record(iter)
+	}
+	best := append([]float64(nil), simplex[0]...)
+	for i, ps := range p.Params {
+		best[i] = clip(best[i], ps.Lo, ps.Hi)
+	}
+	return best, costs[0], evals, trace, nil
+}

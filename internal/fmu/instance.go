@@ -1,0 +1,494 @@
+package fmu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/modelica"
+	"repro/internal/solver"
+	"repro/internal/timeseries"
+)
+
+// Instance is one runtime instantiation of a Unit: a mutable set of
+// parameter values, state initial values, and input defaults over the shared
+// immutable model. This mirrors FMI's instantiate/setReal/simulate lifecycle
+// and is the object pgFMU's ModelInstance catalogue rows stand for.
+type Instance struct {
+	unit *Unit
+	name string
+
+	params   map[string]float64
+	initials map[string]float64 // state start values
+	inputs   map[string]float64 // input fallback values
+}
+
+// Instantiate creates an instance with values seeded from the model defaults.
+func (u *Unit) Instantiate(name string) *Instance {
+	inst := &Instance{
+		unit:     u,
+		name:     name,
+		params:   make(map[string]float64, len(u.Model.Parameters)),
+		initials: make(map[string]float64, len(u.Model.States)),
+		inputs:   make(map[string]float64, len(u.Model.Inputs)),
+	}
+	for _, p := range u.Model.Parameters {
+		if !math.IsNaN(p.Default) {
+			inst.params[p.Name] = p.Default
+		}
+	}
+	for _, s := range u.Model.States {
+		if !math.IsNaN(s.Start) {
+			inst.initials[s.Name] = s.Start
+		}
+	}
+	for _, in := range u.Model.Inputs {
+		if !math.IsNaN(in.Start) {
+			inst.inputs[in.Name] = in.Start
+		}
+	}
+	return inst
+}
+
+// Name returns the instance name given at instantiation.
+func (inst *Instance) Name() string { return inst.name }
+
+// Unit returns the parent FMU.
+func (inst *Instance) Unit() *Unit { return inst.unit }
+
+// VarKind classifies a variable name within the instance.
+type VarKind int
+
+// VarKind values.
+const (
+	VarUnknown VarKind = iota
+	VarParameter
+	VarInput
+	VarState
+	VarOutput
+)
+
+func (k VarKind) String() string {
+	switch k {
+	case VarParameter:
+		return "parameter"
+	case VarInput:
+		return "input"
+	case VarState:
+		return "state"
+	case VarOutput:
+		return "output"
+	default:
+		return "unknown"
+	}
+}
+
+// KindOf reports how name is classified by the model. A state that is also
+// an output reports VarState (settable initial value).
+func (inst *Instance) KindOf(name string) VarKind {
+	m := inst.unit.Model
+	for _, p := range m.Parameters {
+		if p.Name == name {
+			return VarParameter
+		}
+	}
+	for _, in := range m.Inputs {
+		if in.Name == name {
+			return VarInput
+		}
+	}
+	for _, s := range m.States {
+		if s.Name == name {
+			return VarState
+		}
+	}
+	for _, o := range m.Outputs {
+		if o.Name == name {
+			return VarOutput
+		}
+	}
+	return VarUnknown
+}
+
+// SetReal assigns a parameter value, a state initial value, or an input
+// fallback value. Pure outputs are not settable (they are computed).
+func (inst *Instance) SetReal(name string, v float64) error {
+	switch inst.KindOf(name) {
+	case VarParameter:
+		inst.params[name] = v
+	case VarState:
+		inst.initials[name] = v
+	case VarInput:
+		inst.inputs[name] = v
+	case VarOutput:
+		return fmt.Errorf("fmu: cannot set computed output %q", name)
+	default:
+		return fmt.Errorf("fmu: model %s has no variable %q", inst.unit.Model.Name, name)
+	}
+	return nil
+}
+
+// GetReal reads the current parameter / state-initial / input-fallback value.
+func (inst *Instance) GetReal(name string) (float64, error) {
+	var v float64
+	var ok bool
+	switch inst.KindOf(name) {
+	case VarParameter:
+		v, ok = inst.params[name]
+	case VarState:
+		v, ok = inst.initials[name]
+	case VarInput:
+		v, ok = inst.inputs[name]
+	case VarOutput:
+		return 0, fmt.Errorf("fmu: output %q has no stored value; simulate to compute it", name)
+	default:
+		return 0, fmt.Errorf("fmu: model %s has no variable %q", inst.unit.Model.Name, name)
+	}
+	if !ok {
+		return 0, fmt.Errorf("fmu: variable %q has no value set", name)
+	}
+	return v, nil
+}
+
+// Parameters returns a copy of the current parameter assignment.
+func (inst *Instance) Parameters() map[string]float64 {
+	out := make(map[string]float64, len(inst.params))
+	for k, v := range inst.params {
+		out[k] = v
+	}
+	return out
+}
+
+// SetParameters assigns several parameters at once.
+func (inst *Instance) SetParameters(vals map[string]float64) error {
+	for k, v := range vals {
+		if inst.KindOf(k) != VarParameter {
+			return fmt.Errorf("fmu: %q is not a parameter", k)
+		}
+		inst.params[k] = v
+	}
+	return nil
+}
+
+// Reset restores all values to the model defaults — pgFMU's fmu_reset.
+func (inst *Instance) Reset() {
+	fresh := inst.unit.Instantiate(inst.name)
+	inst.params = fresh.params
+	inst.initials = fresh.initials
+	inst.inputs = fresh.inputs
+}
+
+// Clone copies the instance under a new name — pgFMU's fmu_copy.
+func (inst *Instance) Clone(name string) *Instance {
+	out := &Instance{
+		unit:     inst.unit,
+		name:     name,
+		params:   make(map[string]float64, len(inst.params)),
+		initials: make(map[string]float64, len(inst.initials)),
+		inputs:   make(map[string]float64, len(inst.inputs)),
+	}
+	for k, v := range inst.params {
+		out.params[k] = v
+	}
+	for k, v := range inst.initials {
+		out.initials[k] = v
+	}
+	for k, v := range inst.inputs {
+		out.inputs[k] = v
+	}
+	return out
+}
+
+// SimOptions configures a simulation run.
+type SimOptions struct {
+	// Method is the ODE integrator; nil picks adaptive RK45 with the
+	// default-experiment tolerance.
+	Method solver.Method
+	// OutputStep, when positive, resamples results onto a uniform grid with
+	// this spacing (communication points). Zero returns solver steps.
+	OutputStep float64
+	// InputInterpolation selects how input series are read between samples.
+	InputInterpolation timeseries.Interpolation
+}
+
+// SimResult is a simulation trajectory: one column per state and output on a
+// shared time grid.
+type SimResult struct {
+	// Frame holds the trajectories; column order is states then outputs.
+	Frame *timeseries.Frame
+}
+
+// Series extracts one result variable.
+func (r *SimResult) Series(name string) (*timeseries.Series, error) {
+	return r.Frame.Series(name)
+}
+
+// Final returns the last value of a result variable.
+func (r *SimResult) Final(name string) (float64, error) {
+	s, err := r.Frame.Series(name)
+	if err != nil {
+		return 0, err
+	}
+	if s.Len() == 0 {
+		return 0, fmt.Errorf("fmu: empty result for %q", name)
+	}
+	return s.Values[s.Len()-1], nil
+}
+
+// inputEnv resolves the model environment at time t during integration.
+type inputEnv struct {
+	params map[string]float64
+	series map[string]*timeseries.Series
+	consts map[string]float64
+	interp timeseries.Interpolation
+
+	// mutable per-evaluation slots
+	time   float64
+	states map[string]float64
+
+	err error
+}
+
+// Lookup implements modelica.Env.
+func (e *inputEnv) Lookup(name string) (float64, bool) {
+	if name == "time" {
+		return e.time, true
+	}
+	if v, ok := e.states[name]; ok {
+		return v, true
+	}
+	if v, ok := e.params[name]; ok {
+		return v, true
+	}
+	if s, ok := e.series[name]; ok {
+		v, err := s.At(e.time, e.interp)
+		if err != nil {
+			e.err = err
+			return 0, false
+		}
+		return v, true
+	}
+	if v, ok := e.consts[name]; ok {
+		return v, true
+	}
+	return 0, false
+}
+
+// Simulate integrates the model from t0 to t1 with the given input series
+// (one per input variable; inputs without a series fall back to the
+// instance's input value). Returns trajectories for all states and outputs.
+func (inst *Instance) Simulate(inputs map[string]*timeseries.Series, t0, t1 float64, opts *SimOptions) (*SimResult, error) {
+	if opts == nil {
+		opts = &SimOptions{}
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("fmu: simulation interval [%v, %v] is empty", t0, t1)
+	}
+	m := inst.unit.Model
+
+	// Validate parameter completeness.
+	for _, p := range m.Parameters {
+		if _, ok := inst.params[p.Name]; !ok {
+			return nil, fmt.Errorf("fmu: parameter %q has no value; set it before simulating", p.Name)
+		}
+	}
+	// Validate inputs: every input must have a series or fallback value.
+	env := &inputEnv{
+		params: inst.params,
+		series: make(map[string]*timeseries.Series),
+		consts: make(map[string]float64),
+		interp: opts.InputInterpolation,
+		states: make(map[string]float64, len(m.States)),
+	}
+	for name, s := range inputs {
+		found := false
+		for _, in := range m.Inputs {
+			if in.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("fmu: model %s has no input %q", m.Name, name)
+		}
+		if s == nil || s.Len() == 0 {
+			return nil, fmt.Errorf("fmu: empty input series for %q", name)
+		}
+		env.series[name] = s
+	}
+	for _, in := range m.Inputs {
+		if _, ok := env.series[in.Name]; ok {
+			continue
+		}
+		v, ok := inst.inputs[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("fmu: insufficient model input time series: input %q has neither a series nor a start value", in.Name)
+		}
+		env.consts[in.Name] = v
+	}
+
+	// Initial state vector in model order.
+	x0 := make([]float64, len(m.States))
+	for i, s := range m.States {
+		v, ok := inst.initials[s.Name]
+		if !ok {
+			return nil, fmt.Errorf("fmu: state %q has no initial value", s.Name)
+		}
+		x0[i] = v
+	}
+
+	method := opts.Method
+	if method == nil {
+		method = solver.NewDormandPrince(1e-6, 1e-8)
+	}
+
+	rhs := func(t float64, x []float64, dxdt []float64) error {
+		env.time = t
+		for i, s := range m.States {
+			env.states[s.Name] = x[i]
+		}
+		for i, s := range m.States {
+			v, err := s.Derivative.Eval(env)
+			if err != nil {
+				if env.err != nil {
+					err = env.err
+					env.err = nil
+				}
+				return fmt.Errorf("evaluating der(%s): %w", s.Name, err)
+			}
+			dxdt[i] = v
+		}
+		return nil
+	}
+
+	res, err := method.Integrate(rhs, t0, t1, x0)
+	if err != nil {
+		return nil, fmt.Errorf("fmu: simulating %s: %w", m.Name, err)
+	}
+
+	// Optionally resample onto a uniform communication grid.
+	times := res.Times
+	states := res.States
+	if opts.OutputStep > 0 {
+		grid := uniformGrid(t0, t1, opts.OutputStep)
+		resampled := make([][]float64, len(grid))
+		for i := range resampled {
+			resampled[i] = make([]float64, len(m.States))
+		}
+		for j := range m.States {
+			st, sv, err := res.StateSeries(j)
+			if err != nil {
+				return nil, err
+			}
+			series, err := timeseries.New(st, sv)
+			if err != nil {
+				return nil, fmt.Errorf("fmu: building state trajectory: %w", err)
+			}
+			rs, err := series.Resample(grid, timeseries.Linear)
+			if err != nil {
+				return nil, err
+			}
+			for i := range grid {
+				resampled[i][j] = rs.Values[i]
+			}
+		}
+		times = grid
+		states = resampled
+	}
+
+	// Assemble the result frame: states then (non-state) outputs.
+	var columns []string
+	for _, s := range m.States {
+		columns = append(columns, s.Name)
+	}
+	stateSet := make(map[string]int, len(m.States))
+	for i, s := range m.States {
+		stateSet[s.Name] = i
+	}
+	var pureOutputs []modelica.Output
+	for _, o := range m.Outputs {
+		if _, isState := stateSet[o.Name]; isState {
+			continue
+		}
+		columns = append(columns, o.Name)
+		pureOutputs = append(pureOutputs, o)
+	}
+
+	frame := timeseries.NewFrame(columns...)
+	row := make([]float64, len(columns))
+	for i, t := range times {
+		env.time = t
+		for j, s := range m.States {
+			env.states[s.Name] = states[i][j]
+			row[j] = states[i][j]
+		}
+		for k, o := range pureOutputs {
+			v, err := o.Expr.Eval(env)
+			if err != nil {
+				if env.err != nil {
+					err = env.err
+					env.err = nil
+				}
+				return nil, fmt.Errorf("fmu: evaluating output %s at t=%v: %w", o.Name, t, err)
+			}
+			row[len(m.States)+k] = v
+		}
+		if err := frame.AppendRow(t, row...); err != nil {
+			return nil, fmt.Errorf("fmu: assembling result frame: %w", err)
+		}
+	}
+	return &SimResult{Frame: frame}, nil
+}
+
+// uniformGrid builds t0, t0+step, ..., ending exactly at t1.
+func uniformGrid(t0, t1, step float64) []float64 {
+	var grid []float64
+	for t := t0; t < t1; t += step {
+		grid = append(grid, t)
+	}
+	// Always include the stop time exactly once.
+	if len(grid) == 0 || grid[len(grid)-1] < t1 {
+		grid = append(grid, t1)
+	}
+	return grid
+}
+
+// ResultVariables returns the sorted simulated variable names (states and
+// outputs) — what fmu_simulate emits rows for.
+func (inst *Instance) ResultVariables() []string {
+	m := inst.unit.Model
+	set := make(map[string]bool)
+	for _, s := range m.States {
+		set[s.Name] = true
+	}
+	for _, o := range m.Outputs {
+		set[o.Name] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultInterval reads the default experiment window from the metadata.
+func (u *Unit) DefaultInterval() (t0, t1 float64, err error) {
+	t0, err = attrFloat(u.Description.DefaultExperiment.StartTime)
+	if err != nil {
+		return 0, 0, err
+	}
+	t1, err = attrFloat(u.Description.DefaultExperiment.StopTime)
+	if err != nil {
+		return 0, 0, err
+	}
+	if math.IsNaN(t0) || math.IsNaN(t1) {
+		return 0, 0, fmt.Errorf("fmu: model %s has no default experiment interval", u.Model.Name)
+	}
+	return t0, t1, nil
+}
+
+// DefaultStep reads the default experiment step size (NaN when absent).
+func (u *Unit) DefaultStep() (float64, error) {
+	return attrFloat(u.Description.DefaultExperiment.StepSize)
+}

@@ -1,0 +1,345 @@
+package modelica
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Model is the semantically analysed ODE IR:
+//
+//	x'(t) = f(x, u, p, t)   (one Derivative expression per state)
+//	y(t)  = h(x, u, p, t)   (one Output expression per output)
+//
+// This is the representation the FMU payload carries and the simulation
+// runtime evaluates — the state-space form of the paper's equation (1).
+type Model struct {
+	Name        string
+	Description string
+	// Parameters are tunable constants, in declaration order.
+	Parameters []Parameter
+	// Inputs are external forcing variables, in declaration order.
+	Inputs []Input
+	// States carry initial values and derivative expressions.
+	States []State
+	// Outputs are algebraic expressions over states/inputs/parameters.
+	Outputs []Output
+}
+
+// Parameter is a tunable model constant.
+type Parameter struct {
+	Name        string
+	Default     float64 // start/declaration value; NaN if none given
+	Min, Max    float64 // bounds for estimation; NaN if unbounded
+	Description string
+}
+
+// Input is an external forcing variable.
+type Input struct {
+	Name        string
+	Start       float64 // value used when no input series is supplied; NaN if none
+	Min, Max    float64 // declared physical range; NaN if unbounded
+	Description string
+}
+
+// State is a differential variable with der(state) = Derivative.
+type State struct {
+	Name        string
+	Start       float64 // initial condition; NaN requires caller to supply one
+	Derivative  Expr
+	Description string
+}
+
+// Output is an algebraic output equation output = Expr.
+type Output struct {
+	Name        string
+	Expr        Expr
+	Description string
+}
+
+// SemanticError reports a model-level analysis failure.
+type SemanticError struct{ Msg string }
+
+func (e *SemanticError) Error() string { return "modelica: " + e.Msg }
+
+func semErr(format string, args ...any) error {
+	return &SemanticError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Analyze performs semantic analysis over a parsed model:
+//
+//   - every equation must be either der(x) = expr (x a local Real) or
+//     v = expr (v an output or local Real);
+//   - locals with der() equations become states; locals defined
+//     algebraically are inlined into the expressions that use them;
+//   - every identifier must resolve to a parameter, input, state, output,
+//     builtin ("time"), or an inlined algebraic local;
+//   - each state needs exactly one derivative equation, each output exactly
+//     one defining equation.
+func Analyze(raw *RawModel) (*Model, error) {
+	m := &Model{Name: raw.Name}
+
+	kind := make(map[string]Causality)
+	comp := make(map[string]Component)
+	for _, c := range raw.Components {
+		if _, dup := kind[c.Name]; dup {
+			return nil, semErr("duplicate declaration of %q", c.Name)
+		}
+		if c.Name == "time" {
+			return nil, semErr("%q is a reserved builtin variable", c.Name)
+		}
+		kind[c.Name] = c.Causality
+		comp[c.Name] = c
+	}
+
+	derivEq := make(map[string]Expr) // state -> derivative expr
+	defEq := make(map[string]Expr)   // output/local -> defining expr
+
+	for i, eq := range raw.Equations {
+		switch lhs := eq.LHS.(type) {
+		case *Call:
+			if lhs.Fn != "der" {
+				return nil, semErr("equation %d: left-hand side must be der(x) or a variable, got call to %s", i+1, lhs.Fn)
+			}
+			if len(lhs.Args) != 1 {
+				return nil, semErr("equation %d: der() takes exactly one argument", i+1)
+			}
+			id, ok := lhs.Args[0].(*Ident)
+			if !ok {
+				return nil, semErr("equation %d: der() argument must be a variable", i+1)
+			}
+			c, declared := kind[id.Name]
+			if !declared {
+				return nil, semErr("equation %d: der(%s) refers to undeclared variable", i+1, id.Name)
+			}
+			if c != CausalityLocal && c != CausalityOutput {
+				return nil, semErr("equation %d: der(%s) not allowed on %s variable", i+1, id.Name, c)
+			}
+			if _, dup := derivEq[id.Name]; dup {
+				return nil, semErr("equation %d: duplicate derivative equation for %s", i+1, id.Name)
+			}
+			derivEq[id.Name] = eq.RHS
+		case *Ident:
+			c, declared := kind[lhs.Name]
+			if !declared {
+				return nil, semErr("equation %d: %s is not declared", i+1, lhs.Name)
+			}
+			if c == CausalityParameter || c == CausalityInput {
+				return nil, semErr("equation %d: cannot assign %s variable %s", i+1, c, lhs.Name)
+			}
+			if _, dup := defEq[lhs.Name]; dup {
+				return nil, semErr("equation %d: duplicate defining equation for %s", i+1, lhs.Name)
+			}
+			defEq[lhs.Name] = eq.RHS
+		default:
+			return nil, semErr("equation %d: left-hand side must be der(x) or a variable", i+1)
+		}
+	}
+
+	// Classify locals: with der-eq => state; with def-eq => algebraic (to be
+	// inlined); with both => error; with neither => error.
+	algebraic := make(map[string]Expr)
+	for _, c := range raw.Components {
+		if c.Causality != CausalityLocal {
+			continue
+		}
+		_, hasDer := derivEq[c.Name]
+		_, hasDef := defEq[c.Name]
+		switch {
+		case hasDer && hasDef:
+			return nil, semErr("variable %s has both a derivative and a defining equation", c.Name)
+		case hasDer:
+			// state, handled below
+		case hasDef:
+			algebraic[c.Name] = defEq[c.Name]
+		default:
+			return nil, semErr("variable %s has no defining equation", c.Name)
+		}
+	}
+	// Outputs may be defined algebraically or be states themselves.
+	for _, c := range raw.Components {
+		if c.Causality != CausalityOutput {
+			continue
+		}
+		_, hasDer := derivEq[c.Name]
+		_, hasDef := defEq[c.Name]
+		if !hasDer && !hasDef {
+			return nil, semErr("output %s has no defining equation", c.Name)
+		}
+		if hasDer && hasDef {
+			return nil, semErr("output %s has both a derivative and a defining equation", c.Name)
+		}
+	}
+
+	// Inline algebraic locals (single pass with cycle detection).
+	inline := func(e Expr) (Expr, error) { return inlineAlgebraic(e, algebraic, nil) }
+
+	// Build the IR in declaration order.
+	for _, c := range raw.Components {
+		switch c.Causality {
+		case CausalityParameter:
+			m.Parameters = append(m.Parameters, Parameter{
+				Name: c.Name, Default: c.Start, Min: c.Min, Max: c.Max,
+				Description: c.Description,
+			})
+		case CausalityInput:
+			m.Inputs = append(m.Inputs, Input{
+				Name: c.Name, Start: c.Start, Min: c.Min, Max: c.Max,
+				Description: c.Description,
+			})
+		case CausalityLocal:
+			if d, ok := derivEq[c.Name]; ok {
+				inlined, err := inline(d)
+				if err != nil {
+					return nil, err
+				}
+				m.States = append(m.States, State{
+					Name: c.Name, Start: c.Start, Derivative: inlined,
+					Description: c.Description,
+				})
+			}
+		case CausalityOutput:
+			if d, ok := derivEq[c.Name]; ok {
+				// An output that is itself a state: register the state and an
+				// identity output expression.
+				inlined, err := inline(d)
+				if err != nil {
+					return nil, err
+				}
+				m.States = append(m.States, State{
+					Name: c.Name, Start: c.Start, Derivative: inlined,
+					Description: c.Description,
+				})
+				m.Outputs = append(m.Outputs, Output{
+					Name: c.Name, Expr: &Ident{Name: c.Name},
+					Description: c.Description,
+				})
+			} else {
+				inlined, err := inline(defEq[c.Name])
+				if err != nil {
+					return nil, err
+				}
+				m.Outputs = append(m.Outputs, Output{
+					Name: c.Name, Expr: inlined, Description: c.Description,
+				})
+			}
+		}
+	}
+
+	if len(m.States) == 0 {
+		return nil, semErr("model %s declares no state variables (no der() equations)", m.Name)
+	}
+
+	// Scope check: every free variable in every expression must resolve.
+	known := make(map[string]bool)
+	known["time"] = true
+	for _, p := range m.Parameters {
+		known[p.Name] = true
+	}
+	for _, in := range m.Inputs {
+		known[in.Name] = true
+	}
+	for _, s := range m.States {
+		known[s.Name] = true
+	}
+	check := func(owner string, e Expr) error {
+		for _, v := range FreeVars(e) {
+			if !known[v] {
+				return semErr("%s references unknown variable %q", owner, v)
+			}
+		}
+		return nil
+	}
+	for _, s := range m.States {
+		if err := check("der("+s.Name+")", s.Derivative); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range m.Outputs {
+		if err := check("output "+o.Name, o.Expr); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// inlineAlgebraic substitutes algebraic local definitions into e, detecting
+// reference cycles through the chain stack.
+func inlineAlgebraic(e Expr, defs map[string]Expr, chain []string) (Expr, error) {
+	switch x := e.(type) {
+	case *Number:
+		return x, nil
+	case *Ident:
+		def, ok := defs[x.Name]
+		if !ok {
+			return x, nil
+		}
+		for _, seen := range chain {
+			if seen == x.Name {
+				return nil, semErr("algebraic cycle through %s", x.Name)
+			}
+		}
+		return inlineAlgebraic(def, defs, append(chain, x.Name))
+	case *Unary:
+		inner, err := inlineAlgebraic(x.X, defs, chain)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: x.Op, X: inner}, nil
+	case *Binary:
+		l, err := inlineAlgebraic(x.L, defs, chain)
+		if err != nil {
+			return nil, err
+		}
+		r, err := inlineAlgebraic(x.R, defs, chain)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: x.Op, L: l, R: r}, nil
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			inlined, err := inlineAlgebraic(a, defs, chain)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = inlined
+		}
+		return &Call{Fn: x.Fn, Args: args}, nil
+	default:
+		return nil, semErr("unsupported expression node %T", e)
+	}
+}
+
+// Compile parses and analyses Modelica source in one step.
+func Compile(src string) (*Model, error) {
+	raw, err := ParseModel(src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(raw)
+}
+
+// ParameterNames returns the sorted parameter names.
+func (m *Model) ParameterNames() []string {
+	names := make([]string, len(m.Parameters))
+	for i, p := range m.Parameters {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parameter returns the named parameter, if declared.
+func (m *Model) Parameter(name string) (Parameter, bool) {
+	for _, p := range m.Parameters {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Parameter{}, false
+}
+
+// HasNaN reports whether v is NaN; exported helpers avoid importing math in
+// callers that only need the absence check.
+func HasNaN(v float64) bool { return math.IsNaN(v) }

@@ -1,0 +1,267 @@
+// Package modelica implements a compiler front-end for the subset of the
+// Modelica language the pgFMU paper uses for its physical models: model
+// declarations with parameter/input/output/Real component clauses, variable
+// attributes (start, min, max), and equation sections containing first-order
+// ODEs written with der() plus algebraic output equations. The front-end
+// lexes, parses, and semantically analyses a .mo source into an ODE IR that
+// the FMU substrate packages and simulates — the role OpenModelica /
+// JModelica's compile_fmu plays in the paper's stack.
+package modelica
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokKeyword
+	tokSymbol
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokKeyword:
+		return "keyword"
+	case tokSymbol:
+		return "symbol"
+	default:
+		return "unknown token"
+	}
+}
+
+// token is one lexical unit with its source position (1-based line/column).
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords in the supported subset.
+var keywords = map[string]bool{
+	"model":     true,
+	"end":       true,
+	"equation":  true,
+	"parameter": true,
+	"constant":  true,
+	"input":     true,
+	"output":    true,
+	"Real":      true,
+	"Integer":   true,
+	"Boolean":   true,
+	"der":       false, // der is lexed as an identifier; parsed specially
+}
+
+// SyntaxError reports a lexing or parsing failure with position info.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("modelica: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer scans Modelica source into tokens.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(offset int) rune {
+	if l.pos+offset >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+offset]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// skipTrivia consumes whitespace and comments (// line and /* block */).
+func (l *lexer) skipTrivia() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peekAt(1) == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipTrivia(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	r := l.peek()
+
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+				sb.WriteRune(l.advance())
+			} else {
+				break
+			}
+		}
+		text := sb.String()
+		if _, isKw := keywords[text]; isKw && keywords[text] {
+			return token{kind: tokKeyword, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line, col: col}, nil
+
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peekAt(1))):
+		var sb strings.Builder
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			c := l.peek()
+			switch {
+			case unicode.IsDigit(c):
+				sb.WriteRune(l.advance())
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				sb.WriteRune(l.advance())
+			case (c == 'e' || c == 'E') && !seenExp:
+				seenExp = true
+				sb.WriteRune(l.advance())
+				if s := l.peek(); s == '+' || s == '-' {
+					sb.WriteRune(l.advance())
+				}
+			default:
+				goto doneNumber
+			}
+		}
+	doneNumber:
+		return token{kind: tokNumber, text: sb.String(), line: line, col: col}, nil
+
+	case r == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, errAt(line, col, "unterminated string literal")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				c = l.advance()
+			}
+			sb.WriteRune(c)
+		}
+		return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
+
+	default:
+		// Multi-char symbols first.
+		two := string(r) + string(l.peekAt(1))
+		switch two {
+		case "<=", ">=", "==", "<>":
+			l.advance()
+			l.advance()
+			return token{kind: tokSymbol, text: two, line: line, col: col}, nil
+		}
+		switch r {
+		case '+', '-', '*', '/', '^', '(', ')', '=', ';', ',', '<', '>', '.':
+			l.advance()
+			return token{kind: tokSymbol, text: string(r), line: line, col: col}, nil
+		}
+		return token{}, errAt(line, col, "unexpected character %q", string(r))
+	}
+}
+
+// lexAll tokenizes the entire source (including the trailing EOF token).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package mpc implements the paper's stated future work (§9): in-DBMS
+// FMU-based dynamic optimization — model-predictive control over a
+// calibrated FMU. Given a model instance, a control input, a horizon, and a
+// setpoint for a state or output variable, Solve searches for the
+// piecewise-constant control trajectory that minimizes tracking error plus
+// control effort, by repeated FMU simulation (projected finite-difference
+// gradient descent over the control vector).
+package mpc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fmu"
+	"repro/internal/solver"
+	"repro/internal/timeseries"
+)
+
+// Problem specifies one optimal-control task.
+type Problem struct {
+	// Instance is the (calibrated) model instance to control.
+	Instance *fmu.Instance
+	// Control names the model input to optimize.
+	Control string
+	// Lo/Hi bound the control (e.g. the HP power rating's [0, 1]).
+	Lo, Hi float64
+	// Target names the state or output to steer.
+	Target string
+	// Setpoint is the desired target value across the horizon.
+	Setpoint float64
+	// T0, T1 bound the horizon; Steps is the number of piecewise-constant
+	// control segments.
+	T0, T1 float64
+	Steps  int
+	// EffortWeight penalizes control magnitude (energy use); 0 disables.
+	EffortWeight float64
+	// OtherInputs supplies series for the model's remaining inputs.
+	OtherInputs map[string]*timeseries.Series
+	// Method overrides the ODE solver; nil picks adaptive RK45.
+	Method solver.Method
+	// MaxIters bounds optimizer iterations; 0 picks 40.
+	MaxIters int
+}
+
+// Plan is the optimized control trajectory with its predicted effect.
+type Plan struct {
+	// Times are the segment start times (length Steps).
+	Times []float64
+	// Controls are the optimized segment values (length Steps).
+	Controls []float64
+	// Predicted is the target trajectory under the optimized controls.
+	Predicted *timeseries.Series
+	// Cost is the final objective value.
+	Cost float64
+	// Evals counts FMU simulations performed.
+	Evals int
+}
+
+func (p *Problem) validate() error {
+	if p.Instance == nil {
+		return fmt.Errorf("mpc: no instance")
+	}
+	if p.Instance.KindOf(p.Control) != fmu.VarInput {
+		return fmt.Errorf("mpc: control %q is not a model input", p.Control)
+	}
+	switch p.Instance.KindOf(p.Target) {
+	case fmu.VarState, fmu.VarOutput:
+	default:
+		return fmt.Errorf("mpc: target %q is not a state or output", p.Target)
+	}
+	if p.T1 <= p.T0 {
+		return fmt.Errorf("mpc: empty horizon [%v, %v]", p.T0, p.T1)
+	}
+	if p.Steps < 1 {
+		return fmt.Errorf("mpc: need at least one control segment")
+	}
+	if p.Lo >= p.Hi {
+		return fmt.Errorf("mpc: empty control range [%v, %v]", p.Lo, p.Hi)
+	}
+	return nil
+}
+
+// controlSeries renders a piecewise-constant control vector as an input
+// series (sampled densely enough that Hold interpolation reproduces it).
+func (p *Problem) controlSeries(u []float64) *timeseries.Series {
+	seg := (p.T1 - p.T0) / float64(p.Steps)
+	times := make([]float64, 0, 2*p.Steps)
+	values := make([]float64, 0, 2*p.Steps)
+	const eps = 1e-9
+	for i, v := range u {
+		start := p.T0 + float64(i)*seg
+		times = append(times, start)
+		values = append(values, v)
+		end := start + seg - eps*seg
+		times = append(times, end)
+		values = append(values, v)
+	}
+	s, err := timeseries.New(times, values)
+	if err != nil {
+		// Construction is internally consistent; a failure is a programming
+		// error surfaced loudly.
+		panic(fmt.Sprintf("mpc: building control series: %v", err))
+	}
+	return s
+}
+
+// cost simulates the plan and scores setpoint tracking plus effort.
+func (p *Problem) cost(u []float64) (float64, *timeseries.Series, error) {
+	inputs := make(map[string]*timeseries.Series, len(p.OtherInputs)+1)
+	for k, v := range p.OtherInputs {
+		inputs[k] = v
+	}
+	inputs[p.Control] = p.controlSeries(u)
+	res, err := p.Instance.Simulate(inputs, p.T0, p.T1, &fmu.SimOptions{
+		Method:     p.Method,
+		OutputStep: (p.T1 - p.T0) / float64(4*p.Steps),
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	target, err := res.Series(p.Target)
+	if err != nil {
+		return 0, nil, err
+	}
+	track := 0.0
+	for _, v := range target.Values {
+		d := v - p.Setpoint
+		track += d * d
+	}
+	track /= float64(target.Len())
+	effort := 0.0
+	if p.EffortWeight > 0 {
+		for _, v := range u {
+			effort += v * v
+		}
+		effort = p.EffortWeight * effort / float64(len(u))
+	}
+	return track + effort, target, nil
+}
+
+// Solve optimizes the control trajectory by projected gradient descent with
+// backtracking over the Steps-dimensional control vector.
+func Solve(p *Problem) (*Plan, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	maxIters := p.MaxIters
+	if maxIters == 0 {
+		maxIters = 40
+	}
+	evals := 0
+	eval := func(u []float64) (float64, *timeseries.Series, error) {
+		evals++
+		return p.cost(u)
+	}
+
+	// Start mid-range.
+	u := make([]float64, p.Steps)
+	for i := range u {
+		u[i] = (p.Lo + p.Hi) / 2
+	}
+	fx, traj, err := eval(u)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: initial simulation: %w", err)
+	}
+
+	h := 1e-4 * (p.Hi - p.Lo)
+	for iter := 0; iter < maxIters; iter++ {
+		// Finite-difference gradient.
+		grad := make([]float64, p.Steps)
+		for i := range u {
+			probe := append([]float64(nil), u...)
+			if u[i]+h <= p.Hi {
+				probe[i] = u[i] + h
+				fp, _, err := eval(probe)
+				if err != nil {
+					return nil, err
+				}
+				grad[i] = (fp - fx) / h
+			} else {
+				probe[i] = u[i] - h
+				fm, _, err := eval(probe)
+				if err != nil {
+					return nil, err
+				}
+				grad[i] = (fx - fm) / h
+			}
+		}
+		norm := 0.0
+		for _, g := range grad {
+			norm += g * g
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			break
+		}
+		// Backtracking line search along -grad, projected into bounds.
+		step := (p.Hi - p.Lo) / norm
+		improved := false
+		for bt := 0; bt < 25; bt++ {
+			candidate := make([]float64, p.Steps)
+			for i := range candidate {
+				candidate[i] = math.Max(p.Lo, math.Min(p.Hi, u[i]-step*grad[i]))
+			}
+			fc, tc, err := eval(candidate)
+			if err != nil {
+				return nil, err
+			}
+			if fc < fx {
+				u, fx, traj = candidate, fc, tc
+				improved = true
+				break
+			}
+			step /= 2
+		}
+		if !improved {
+			break
+		}
+	}
+
+	seg := (p.T1 - p.T0) / float64(p.Steps)
+	times := make([]float64, p.Steps)
+	for i := range times {
+		times[i] = p.T0 + float64(i)*seg
+	}
+	return &Plan{
+		Times:     times,
+		Controls:  u,
+		Predicted: traj,
+		Cost:      fx,
+		Evals:     evals,
+	}, nil
+}

@@ -1,0 +1,187 @@
+package mpc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fmu"
+	"repro/internal/timeseries"
+)
+
+func hpInstance(t *testing.T) *fmu.Instance {
+	t.Helper()
+	unit, err := fmu.CompileModelica(dataset.HP1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := unit.Instantiate("mpc")
+	for k, v := range dataset.TruthHP1 {
+		if err := inst.SetReal(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return inst
+}
+
+func TestSolveTracksSetpoint(t *testing.T) {
+	inst := hpInstance(t)
+	// Steady state for control u: x* = R*P*eta*u + thetaA. For x*=15:
+	// u = (15+10)/(1.481*7.8*2.65) ≈ 0.817.
+	p := &Problem{
+		Instance: inst,
+		Control:  "u",
+		Lo:       0, Hi: 1,
+		Target:   "x",
+		Setpoint: 15,
+		T0:       0, T1: 24,
+		Steps: 4,
+	}
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Controls) != 4 || len(plan.Times) != 4 {
+		t.Fatalf("plan shape: %+v", plan)
+	}
+	// The later segments (past the transient) should hold the steady-state
+	// control.
+	uStar := (15.0 + 10.0) / (dataset.TruthHP1["R"] * 7.8 * 2.65)
+	last := plan.Controls[len(plan.Controls)-1]
+	if math.Abs(last-uStar) > 0.15 {
+		t.Errorf("final control = %v, want ≈ %v", last, uStar)
+	}
+	// Predicted trajectory approaches the setpoint.
+	final := plan.Predicted.Values[plan.Predicted.Len()-1]
+	if math.Abs(final-15) > 1.5 {
+		t.Errorf("final temperature = %v, want ≈ 15", final)
+	}
+	if plan.Evals == 0 {
+		t.Error("evals should be counted")
+	}
+}
+
+func TestSolveRespectsBounds(t *testing.T) {
+	inst := hpInstance(t)
+	// Unreachable setpoint forces saturation at the upper bound.
+	p := &Problem{
+		Instance: inst,
+		Control:  "u",
+		Lo:       0, Hi: 0.5,
+		Target:   "x",
+		Setpoint: 40, // needs u ≈ 1.6, far beyond Hi
+		T0:       0, T1: 12,
+		Steps: 3,
+	}
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range plan.Controls {
+		if u < 0 || u > 0.5 {
+			t.Errorf("control[%d] = %v outside bounds", i, u)
+		}
+	}
+	// Saturated: every segment should push to (near) the upper bound.
+	for i, u := range plan.Controls {
+		if u < 0.45 {
+			t.Errorf("control[%d] = %v; unreachable setpoint should saturate", i, u)
+		}
+	}
+}
+
+func TestEffortWeightReducesControl(t *testing.T) {
+	inst := hpInstance(t)
+	base := &Problem{
+		Instance: inst, Control: "u", Lo: 0, Hi: 1,
+		Target: "x", Setpoint: 15, T0: 0, T1: 24, Steps: 3,
+	}
+	cheap, err := Solve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expensive := *base
+	expensive.EffortWeight = 50
+	frugal, err := Solve(&expensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(vals []float64) float64 {
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	}
+	if sum(frugal.Controls) >= sum(cheap.Controls) {
+		t.Errorf("effort weight should reduce control: %v vs %v",
+			sum(frugal.Controls), sum(cheap.Controls))
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	inst := hpInstance(t)
+	cases := []struct {
+		name   string
+		mutate func(*Problem)
+	}{
+		{"nil instance", func(p *Problem) { p.Instance = nil }},
+		{"control not input", func(p *Problem) { p.Control = "x" }},
+		{"target not state", func(p *Problem) { p.Target = "u" }},
+		{"unknown target", func(p *Problem) { p.Target = "zzz" }},
+		{"empty horizon", func(p *Problem) { p.T1 = p.T0 }},
+		{"zero steps", func(p *Problem) { p.Steps = 0 }},
+		{"empty control range", func(p *Problem) { p.Lo, p.Hi = 1, 1 }},
+	}
+	for _, c := range cases {
+		p := &Problem{
+			Instance: inst, Control: "u", Lo: 0, Hi: 1,
+			Target: "x", Setpoint: 15, T0: 0, T1: 24, Steps: 3,
+		}
+		c.mutate(p)
+		if _, err := Solve(p); err == nil {
+			t.Errorf("%s: Solve should fail", c.name)
+		}
+	}
+}
+
+func TestSolveWithOtherInputs(t *testing.T) {
+	// Classroom: steer temperature with the radiator valve while weather and
+	// occupancy arrive as exogenous series.
+	unit, err := fmu.CompileModelica(dataset.ClassroomSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := unit.Instantiate("room")
+	for k, v := range dataset.TruthClassroom {
+		if err := inst.SetReal(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	constSeries := func(v float64) *timeseries.Series {
+		return timeseries.MustNew([]float64{0, 24}, []float64{v, v})
+	}
+	p := &Problem{
+		Instance: inst,
+		Control:  "vpos",
+		Lo:       0, Hi: 100,
+		Target:   "t",
+		Setpoint: 22,
+		T0:       0, T1: 24,
+		Steps: 3,
+		OtherInputs: map[string]*timeseries.Series{
+			"solrad": constSeries(100),
+			"tout":   constSeries(5),
+			"occ":    constSeries(0),
+			"dpos":   constSeries(0),
+		},
+	}
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := plan.Predicted.Values[plan.Predicted.Len()-1]
+	if math.Abs(final-22) > 2.5 {
+		t.Errorf("final classroom temperature = %v, want ≈ 22", final)
+	}
+}

@@ -1,0 +1,172 @@
+package pystack
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/estimate"
+	"repro/internal/fmu"
+	"repro/internal/sqldb"
+)
+
+func newWorkflow(t *testing.T) *Workflow {
+	t.Helper()
+	db := sqldb.New()
+	frame, err := dataset.GenerateHP1(dataset.Config{Hours: 48, Seed: 4, NoiseSigma: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.LoadFrame(db, "measurements", frame); err != nil {
+		t.Fatal(err)
+	}
+	unit, err := fmu.CompileModelica(dataset.HP1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fmuPath := filepath.Join(dir, "hp1.fmu")
+	if err := unit.WriteFile(fmuPath); err != nil {
+		t.Fatal(err)
+	}
+	return &Workflow{
+		DB:      db,
+		FMUPath: fmuPath,
+		WorkDir: dir,
+		EstOpts: estimate.Options{
+			GA: estimate.GAOptions{Population: 12, Generations: 6, Seed: 3},
+		},
+		Params: []estimate.ParamSpec{
+			{Name: "Cp", Lo: 0.5, Hi: 5},
+			{Name: "R", Lo: 0.5, Hi: 5},
+		},
+		MeasuredColumns: []string{"x"},
+		InputColumns:    []string{"u"},
+	}
+}
+
+func TestRunSingleInstance(t *testing.T) {
+	w := newWorkflow(t)
+	res, err := w.RunSingleInstance("hp1_1", "SELECT time, x, u FROM measurements", "predictions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parameters recovered near the ground truth.
+	if math.Abs(res.Params["Cp"]-dataset.TruthHP1["Cp"]) > 0.4 {
+		t.Errorf("Cp = %v, want ≈ %v", res.Params["Cp"], dataset.TruthHP1["Cp"])
+	}
+	if math.Abs(res.Params["R"]-dataset.TruthHP1["R"]) > 0.4 {
+		t.Errorf("R = %v, want ≈ %v", res.Params["R"], dataset.TruthHP1["R"])
+	}
+	if res.RMSE > 0.3 {
+		t.Errorf("RMSE = %v", res.RMSE)
+	}
+	// Every step must have been timed.
+	if res.Steps.LoadFMU <= 0 || res.Steps.ReadData <= 0 || res.Steps.Calibrate <= 0 ||
+		res.Steps.Simulate <= 0 || res.Steps.ExportData <= 0 || res.Steps.Analysis <= 0 {
+		t.Errorf("steps = %+v", res.Steps)
+	}
+	if res.Steps.Total() <= res.Steps.Calibrate {
+		t.Error("total must exceed calibrate")
+	}
+	// Calibration dominates (the paper: > 99% — relaxed here for tiny data).
+	if res.Steps.Calibrate.Seconds()/res.Steps.Total().Seconds() < 0.5 {
+		t.Errorf("calibration share = %v, expected to dominate", res.Steps.Calibrate.Seconds()/res.Steps.Total().Seconds())
+	}
+	// Predictions landed in the DB.
+	rs, err := w.DB.Query(`SELECT count(*) FROM predictions`)
+	if err != nil || rs.Rows[0][0].Int() == 0 {
+		t.Errorf("predictions = %v, %v", rs, err)
+	}
+}
+
+func TestRunMultiInstanceLinear(t *testing.T) {
+	w := newWorkflow(t)
+	results, err := w.RunMultiInstance(
+		[]string{"a", "b"},
+		[]string{"SELECT time, x, u FROM measurements", "SELECT time, x, u FROM measurements"},
+		"predictions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// No warm start ever: both instances pay full calibration (similar
+	// eval counts/timings).
+	ratio := results[1].Steps.Calibrate.Seconds() / results[0].Steps.Calibrate.Seconds()
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("calibration cost ratio between instances = %v; traditional stack must be ~linear", ratio)
+	}
+}
+
+func TestRunMultiInstanceArityError(t *testing.T) {
+	w := newWorkflow(t)
+	if _, err := w.RunMultiInstance([]string{"a"}, []string{"q1", "q2"}, "p"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestWorkflowErrors(t *testing.T) {
+	w := newWorkflow(t)
+	w.FMUPath = "/missing.fmu"
+	if _, err := w.RunSingleInstance("i", "SELECT time, x, u FROM measurements", "p"); err == nil {
+		t.Error("missing FMU should fail")
+	}
+	w = newWorkflow(t)
+	if _, err := w.RunSingleInstance("i", "SELECT nonsense FROM", "p"); err == nil {
+		t.Error("bad SQL should fail")
+	}
+	w = newWorkflow(t)
+	w.MeasuredColumns = []string{"zzz"}
+	if _, err := w.RunSingleInstance("i", "SELECT time, x, u FROM measurements", "p"); err == nil {
+		t.Error("missing measured column should fail")
+	}
+	w = newWorkflow(t)
+	w.InputColumns = []string{"zzz"}
+	if _, err := w.RunSingleInstance("i", "SELECT time, x, u FROM measurements", "p"); err == nil {
+		t.Error("missing input column should fail")
+	}
+}
+
+func TestResultToFrameTimestamps(t *testing.T) {
+	db := sqldb.New()
+	if _, err := db.Exec(`CREATE TABLE m (ts timestamp, v float)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO m VALUES ('2015-02-01 00:00:00', 1), ('2015-02-01 01:00:00', 2)`); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := db.Query(`SELECT * FROM m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := resultToFrame(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Len() != 2 || frame.Times[1]-frame.Times[0] != 3600 {
+		t.Errorf("frame = %+v", frame)
+	}
+}
+
+func TestResultToFrameNoTimeColumn(t *testing.T) {
+	db := sqldb.New()
+	if _, err := db.Exec(`CREATE TABLE m (a float)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO m VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := db.Query(`SELECT * FROM m`)
+	if _, err := resultToFrame(rs); err == nil {
+		t.Error("missing time column should fail")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("HP1/Instance:1"); got != "HP1_Instance_1" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

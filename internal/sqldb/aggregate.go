@@ -1,0 +1,365 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/variant"
+)
+
+// execAggregate handles grouped and implicitly aggregated SELECTs.
+func execAggregate(cx *evalCtx, s *SelectStmt, sources []sourceInfo, rows []Row, outer *scope) (*ResultSet, error) {
+	// Partition rows into groups by the GROUP BY key values.
+	type group struct {
+		keyVals []variant.Value
+		rows    []Row
+	}
+	var groups []*group
+	if len(s.GroupBy) == 0 {
+		// One implicit group over all rows (possibly empty).
+		groups = []*group{{rows: rows}}
+	} else {
+		index := make(map[string]*group)
+		for _, joined := range rows {
+			sc := bindScope(sources, joined, outer)
+			keyVals := make([]variant.Value, len(s.GroupBy))
+			var kb strings.Builder
+			for i, ge := range s.GroupBy {
+				v, err := evalExpr(cx.withScope(sc), ge)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[i] = v
+				kb.WriteString(v.Kind().String())
+				kb.WriteByte(':')
+				kb.WriteString(v.String())
+				kb.WriteByte('\x00')
+			}
+			key := kb.String()
+			g, ok := index[key]
+			if !ok {
+				g = &group{keyVals: keyVals}
+				index[key] = g
+				groups = append(groups, g)
+			}
+			g.rows = append(g.rows, joined)
+		}
+	}
+
+	cols, exprs, err := expandItems(s.Items, sources)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ResultSet{Columns: cols}
+	for _, g := range groups {
+		gcx := &groupCtx{cx: cx, sources: sources, rows: g.rows, outer: outer, groupBy: s.GroupBy, keyVals: g.keyVals}
+		if s.Having != nil {
+			v, err := gcx.eval(s.Having)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			ok, err := v.AsBool()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		row := make(Row, len(exprs))
+		for i, e := range exprs {
+			v, err := gcx.eval(e)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// groupCtx evaluates expressions in a grouped context: aggregate calls fold
+// over the group's rows; other column references resolve against the group
+// key or (as a pragmatic extension) the group's first row.
+type groupCtx struct {
+	cx      *evalCtx
+	sources []sourceInfo
+	rows    []Row
+	outer   *scope
+	groupBy []Expr
+	keyVals []variant.Value
+}
+
+func (g *groupCtx) eval(e Expr) (variant.Value, error) {
+	// A GROUP BY key expression evaluates to its key value.
+	for i, ge := range g.groupBy {
+		if exprEqual(e, ge) {
+			return g.keyVals[i], nil
+		}
+	}
+	switch x := e.(type) {
+	case *FuncExpr:
+		if isAggregateName(x.Name) {
+			return g.evalAggregate(x)
+		}
+		// Scalar function of (possibly aggregate) arguments.
+		args := make([]variant.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := g.eval(a)
+			if err != nil {
+				return variant.Value{}, err
+			}
+			args[i] = v
+		}
+		name := strings.ToLower(x.Name)
+		if fn, ok := builtinScalars[name]; ok {
+			return fn(args)
+		}
+		if fn, ok := g.cx.db.funcs.scalar(name); ok {
+			return fn(g.cx.db, args)
+		}
+		return variant.Value{}, fmt.Errorf("sql: unknown function %s()", x.Name)
+	case *BinaryExpr:
+		if x.Op == "and" || x.Op == "or" {
+			// Re-dispatch through evalBinary semantics with group-aware
+			// operand evaluation via a temporary row scope is complex; fold
+			// both sides (no short-circuit inside HAVING is acceptable).
+			l, err := g.eval(x.L)
+			if err != nil {
+				return variant.Value{}, err
+			}
+			r, err := g.eval(x.R)
+			if err != nil {
+				return variant.Value{}, err
+			}
+			return evalBinary(g.cx.withScope(nil), &BinaryExpr{Op: x.Op, L: &Literal{Value: l}, R: &Literal{Value: r}})
+		}
+		l, err := g.eval(x.L)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		r, err := g.eval(x.R)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return evalBinary(g.cx.withScope(nil), &BinaryExpr{Op: x.Op, L: &Literal{Value: l}, R: &Literal{Value: r}})
+	case *UnaryExpr:
+		v, err := g.eval(x.X)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return evalExpr(g.cx.withScope(nil), &UnaryExpr{Op: x.Op, X: &Literal{Value: v}})
+	case *CastExpr:
+		v, err := g.eval(x.X)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return castValue(v, x.Type)
+	case *Literal, *Param:
+		return evalExpr(g.cx, e)
+	case *ColumnRef:
+		// Not a group key: evaluate against the first row of the group
+		// (defined behaviour here; PostgreSQL would reject).
+		if len(g.rows) == 0 {
+			return variant.NewNull(), nil
+		}
+		sc := bindScope(g.sources, g.rows[0], g.outer)
+		return evalExpr(g.cx.withScope(sc), e)
+	case *CaseExpr:
+		// Evaluate arms with group semantics.
+		if x.Operand != nil {
+			op, err := g.eval(x.Operand)
+			if err != nil {
+				return variant.Value{}, err
+			}
+			for _, arm := range x.Whens {
+				w, err := g.eval(arm.When)
+				if err != nil {
+					return variant.Value{}, err
+				}
+				if c, err := variant.Compare(op, w); err == nil && c == 0 && !op.IsNull() {
+					return g.eval(arm.Then)
+				}
+			}
+		} else {
+			for _, arm := range x.Whens {
+				w, err := g.eval(arm.When)
+				if err != nil {
+					return variant.Value{}, err
+				}
+				if !w.IsNull() {
+					b, err := w.AsBool()
+					if err != nil {
+						return variant.Value{}, err
+					}
+					if b {
+						return g.eval(arm.Then)
+					}
+				}
+			}
+		}
+		if x.Else != nil {
+			return g.eval(x.Else)
+		}
+		return variant.NewNull(), nil
+	default:
+		return variant.Value{}, fmt.Errorf("sql: unsupported expression %T in aggregate context", e)
+	}
+}
+
+func (g *groupCtx) evalAggregate(x *FuncExpr) (variant.Value, error) {
+	name := strings.ToLower(x.Name)
+	// count(*)
+	if x.Star {
+		if name != "count" {
+			return variant.Value{}, fmt.Errorf("sql: %s(*) is not valid", name)
+		}
+		return variant.NewInt(int64(len(g.rows))), nil
+	}
+	if len(x.Args) != 1 {
+		return variant.Value{}, fmt.Errorf("sql: %s() expects 1 argument", name)
+	}
+	// Collect non-NULL argument values across the group.
+	var vals []variant.Value
+	seen := make(map[string]bool)
+	for _, joined := range g.rows {
+		sc := bindScope(g.sources, joined, g.outer)
+		v, err := evalExpr(g.cx.withScope(sc), x.Args[0])
+		if err != nil {
+			return variant.Value{}, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if x.Distinct {
+			key := v.Kind().String() + ":" + v.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		vals = append(vals, v)
+	}
+	switch name {
+	case "count":
+		return variant.NewInt(int64(len(vals))), nil
+	case "sum":
+		if len(vals) == 0 {
+			return variant.NewNull(), nil
+		}
+		allInt := true
+		sumF := 0.0
+		var sumI int64
+		for _, v := range vals {
+			if v.Kind() != variant.Int {
+				allInt = false
+			}
+			f, err := v.AsFloat()
+			if err != nil {
+				return variant.Value{}, fmt.Errorf("sql: sum(): %w", err)
+			}
+			sumF += f
+		}
+		if allInt {
+			for _, v := range vals {
+				sumI += v.Int()
+			}
+			return variant.NewInt(sumI), nil
+		}
+		return variant.NewFloat(sumF), nil
+	case "avg":
+		if len(vals) == 0 {
+			return variant.NewNull(), nil
+		}
+		sum := 0.0
+		for _, v := range vals {
+			f, err := v.AsFloat()
+			if err != nil {
+				return variant.Value{}, fmt.Errorf("sql: avg(): %w", err)
+			}
+			sum += f
+		}
+		return variant.NewFloat(sum / float64(len(vals))), nil
+	case "min", "max":
+		if len(vals) == 0 {
+			return variant.NewNull(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := variant.Compare(v, best)
+			if err != nil {
+				return variant.Value{}, err
+			}
+			if (name == "min" && c < 0) || (name == "max" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "stddev":
+		if len(vals) < 2 {
+			return variant.NewNull(), nil
+		}
+		mean := 0.0
+		fs := make([]float64, len(vals))
+		for i, v := range vals {
+			f, err := v.AsFloat()
+			if err != nil {
+				return variant.Value{}, fmt.Errorf("sql: stddev(): %w", err)
+			}
+			fs[i] = f
+			mean += f
+		}
+		mean /= float64(len(fs))
+		ss := 0.0
+		for _, f := range fs {
+			ss += (f - mean) * (f - mean)
+		}
+		return variant.NewFloat(math.Sqrt(ss / float64(len(fs)-1))), nil
+	default:
+		return variant.Value{}, fmt.Errorf("sql: unknown aggregate %s()", name)
+	}
+}
+
+// exprEqual reports structural equality of two expressions (used to match
+// GROUP BY keys in the projection).
+func exprEqual(a, b Expr) bool {
+	switch x := a.(type) {
+	case *Literal:
+		y, ok := b.(*Literal)
+		return ok && x.Value.Equal(y.Value)
+	case *ColumnRef:
+		y, ok := b.(*ColumnRef)
+		return ok && strings.EqualFold(x.Table, y.Table) && strings.EqualFold(x.Name, y.Name)
+	case *Param:
+		y, ok := b.(*Param)
+		return ok && x.Index == y.Index
+	case *BinaryExpr:
+		y, ok := b.(*BinaryExpr)
+		return ok && x.Op == y.Op && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	case *UnaryExpr:
+		y, ok := b.(*UnaryExpr)
+		return ok && x.Op == y.Op && exprEqual(x.X, y.X)
+	case *CastExpr:
+		y, ok := b.(*CastExpr)
+		return ok && x.Type == y.Type && exprEqual(x.X, y.X)
+	case *FuncExpr:
+		y, ok := b.(*FuncExpr)
+		if !ok || !strings.EqualFold(x.Name, y.Name) || x.Star != y.Star || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !exprEqual(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

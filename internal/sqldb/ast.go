@@ -1,0 +1,216 @@
+package sqldb
+
+import "repro/internal/variant"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any parsed SQL expression.
+type Expr interface{ expr() }
+
+// --- Expressions ---
+
+// Literal is a constant value.
+type Literal struct{ Value variant.Value }
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // empty when unqualified
+	Name  string
+}
+
+// Param is a $n placeholder (1-based).
+type Param struct{ Index int }
+
+// BinaryExpr is an infix operation (arithmetic, comparison, logic, ||).
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr is NOT x or -x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// FuncExpr is a function call; Star marks count(*).
+type FuncExpr struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// CastExpr is expr::type or CAST(expr AS type).
+type CastExpr struct {
+	X    Expr
+	Type string
+}
+
+// InExpr is x [NOT] IN (a, b, c).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// LikeExpr is x [NOT] LIKE pattern.
+type LikeExpr struct {
+	X, Pattern Expr
+	Not        bool
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr // nil when absent
+}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct {
+	When Expr
+	Then Expr
+}
+
+func (*Literal) expr()     {}
+func (*ColumnRef) expr()   {}
+func (*Param) expr()       {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*FuncExpr) expr()    {}
+func (*CastExpr) expr()    {}
+func (*InExpr) expr()      {}
+func (*IsNullExpr) expr()  {}
+func (*LikeExpr) expr()    {}
+func (*BetweenExpr) expr() {}
+func (*CaseExpr) expr()    {}
+
+// --- SELECT ---
+
+// SelectItem is one projection: an expression with an optional alias, or a
+// [table.]* wildcard.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool   // SELECT * or t.*
+	Table string // qualifier for t.*
+}
+
+// JoinKind distinguishes the supported join flavours.
+type JoinKind int
+
+// Join kinds. Comma-separated FROM items parse as cross joins.
+const (
+	JoinCross JoinKind = iota
+	JoinInner
+	JoinLeft
+)
+
+// FromItem is one entry in the FROM clause.
+type FromItem struct {
+	// Table is a base-table reference (mutually exclusive with Func/Sub).
+	Table string
+	// Func is a set-returning function call.
+	Func *FuncExpr
+	// Sub is a parenthesised subquery.
+	Sub *SelectStmt
+	// Lateral marks explicit LATERAL; function items are implicitly lateral
+	// (PostgreSQL behaviour).
+	Lateral bool
+	// Alias renames the item; ColAliases optionally rename its columns.
+	Alias      string
+	ColAliases []string
+	// Join links this item to the previous one. The first item's Join is
+	// JoinCross with On == nil.
+	Join JoinKind
+	On   Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil when absent
+	Offset   Expr // nil when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// --- DDL / DML ---
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string // normalized type name: integer/float/text/boolean/timestamp/variant
+}
+
+// CreateTableStmt is CREATE TABLE [IF NOT EXISTS].
+type CreateTableStmt struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+}
+
+// DropTableStmt is DROP TABLE [IF EXISTS].
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// InsertStmt is INSERT INTO ... VALUES or INSERT INTO ... SELECT.
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means table order
+	Rows    [][]Expr // VALUES form
+	Query   *SelectStmt
+}
+
+// UpdateStmt is UPDATE ... SET ... [WHERE].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStmt is DELETE FROM ... [WHERE].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}

@@ -1,0 +1,158 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/variant"
+)
+
+// Column describes one result or table column.
+type Column struct {
+	Name string
+	// Type is the canonical declared type ("integer", "float", "text",
+	// "boolean", "timestamp", "variant"). Result columns computed from
+	// expressions use "variant".
+	Type string
+}
+
+// Row is one tuple of values.
+type Row []variant.Value
+
+// ResultSet is a fully materialized query result.
+type ResultSet struct {
+	Columns []Column
+	Rows    []Row
+}
+
+// ColumnIndex finds a column by case-insensitive name; -1 when absent.
+func (rs *ResultSet) ColumnIndex(name string) int {
+	for i, c := range rs.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Scan extracts the named column of row i as a variant value.
+func (rs *ResultSet) Scan(i int, column string) (variant.Value, error) {
+	idx := rs.ColumnIndex(column)
+	if idx < 0 {
+		return variant.Value{}, fmt.Errorf("sql: result has no column %q", column)
+	}
+	if i < 0 || i >= len(rs.Rows) {
+		return variant.Value{}, fmt.Errorf("sql: row index %d out of range", i)
+	}
+	return rs.Rows[i][idx], nil
+}
+
+// Table is a heap table: a schema plus rows. Access is serialized by the DB.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    []Row
+}
+
+func (t *Table) columnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// coerceToColumn converts v to the column's declared type (implicit cast on
+// insert/update, like PostgreSQL assignment casts).
+func coerceToColumn(v variant.Value, colType string) (variant.Value, error) {
+	if v.IsNull() || colType == "variant" {
+		return v, nil
+	}
+	switch colType {
+	case "integer":
+		i, err := v.AsInt()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewInt(i), nil
+	case "float":
+		f, err := v.AsFloat()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewFloat(f), nil
+	case "text":
+		return variant.NewText(v.AsText()), nil
+	case "boolean":
+		b, err := v.AsBool()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewBool(b), nil
+	case "timestamp":
+		t, err := v.AsTime()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewTime(t), nil
+	default:
+		return variant.Value{}, fmt.Errorf("sql: unknown column type %q", colType)
+	}
+}
+
+// catalog maps lowercase table names to tables.
+type catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+func newCatalog() *catalog {
+	return &catalog{tables: make(map[string]*Table)}
+}
+
+func (c *catalog) get(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+func (c *catalog) create(t *Table, ifNotExists bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(t.Name)
+	if _, exists := c.tables[key]; exists {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("sql: table %q already exists", t.Name)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+func (c *catalog) drop(name string, ifExists bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; !exists {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("sql: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+func (c *catalog) names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for name := range c.tables {
+		out = append(out, name)
+	}
+	return out
+}

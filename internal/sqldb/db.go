@@ -1,0 +1,391 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/variant"
+)
+
+// DB is an embedded, in-memory SQL database with a UDF registry — the
+// PostgreSQL stand-in the pgFMU core extends. It is safe for concurrent use;
+// statements execute under a coarse database lock (serializable by
+// construction).
+type DB struct {
+	mu     sync.Mutex
+	tables *catalog
+	funcs  *registry
+	// planCache caches parsed statements keyed by SQL text — the paper's
+	// "prepared SQL queries avoid repeated reevaluation" optimization. It is
+	// toggled by EnablePlanCache.
+	planCache   map[string]Statement
+	cachePlans  bool
+	planCacheMu sync.Mutex
+}
+
+// New creates an empty database with the plan cache enabled.
+func New() *DB {
+	return &DB{
+		tables:     newCatalog(),
+		funcs:      newRegistry(),
+		planCache:  make(map[string]Statement),
+		cachePlans: true,
+	}
+}
+
+// EnablePlanCache toggles the parsed-statement cache (on by default). The
+// pgFMU- configuration in the experiments disables it.
+func (db *DB) EnablePlanCache(on bool) {
+	db.planCacheMu.Lock()
+	defer db.planCacheMu.Unlock()
+	db.cachePlans = on
+	if !on {
+		db.planCache = make(map[string]Statement)
+	}
+}
+
+// RegisterScalar registers a scalar UDF callable from any expression.
+func (db *DB) RegisterScalar(name string, fn ScalarFunc) {
+	db.funcs.registerScalar(name, fn)
+}
+
+// RegisterTable registers a set-returning UDF callable in FROM.
+func (db *DB) RegisterTable(name string, fn TableFunc) {
+	db.funcs.registerTable(name, fn)
+}
+
+// TableNames lists the catalogued tables (lowercased).
+func (db *DB) TableNames() []string { return db.tables.names() }
+
+// HasTable reports whether a table exists.
+func (db *DB) HasTable(name string) bool {
+	_, ok := db.tables.get(name)
+	return ok
+}
+
+func (db *DB) parse(sql string) (Statement, error) {
+	db.planCacheMu.Lock()
+	if db.cachePlans {
+		if stmt, ok := db.planCache[sql]; ok {
+			db.planCacheMu.Unlock()
+			return stmt, nil
+		}
+	}
+	db.planCacheMu.Unlock()
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.planCacheMu.Lock()
+	if db.cachePlans {
+		db.planCache[sql] = stmt
+	}
+	db.planCacheMu.Unlock()
+	return stmt, nil
+}
+
+// Query runs a statement and returns its result set. Non-SELECT statements
+// return an empty result with a "rows affected" count encoded in Rows:
+// use Exec for those. args bind $1, $2, ... placeholders.
+func (db *DB) Query(sql string, args ...any) (*ResultSet, error) {
+	stmt, err := db.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execLocked(stmt, params)
+}
+
+// Exec runs a statement for its side effects and returns the number of rows
+// affected (0 for DDL, row count for SELECT).
+func (db *DB) Exec(sql string, args ...any) (int, error) {
+	rs, err := db.Query(sql, args...)
+	if err != nil {
+		return 0, err
+	}
+	return len(rs.Rows), nil
+}
+
+// QueryNested runs a query from inside a UDF that is already executing under
+// the database lock. pgFMU's fmu_parest uses this to evaluate input_sql.
+func (db *DB) QueryNested(sql string, args ...any) (*ResultSet, error) {
+	stmt, err := db.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return db.execLocked(stmt, params)
+}
+
+// ExecScript runs a semicolon-separated statement sequence, returning the
+// result of the last statement.
+func (db *DB) ExecScript(sql string) (*ResultSet, error) {
+	stmts, err := ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var last *ResultSet
+	for _, stmt := range stmts {
+		last, err = db.execLocked(stmt, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if last == nil {
+		last = &ResultSet{}
+	}
+	return last, nil
+}
+
+func bindArgs(args []any) ([]variant.Value, error) {
+	params := make([]variant.Value, len(args))
+	for i, a := range args {
+		v, err := variant.FromAny(a)
+		if err != nil {
+			return nil, fmt.Errorf("sql: binding $%d: %w", i+1, err)
+		}
+		params[i] = v
+	}
+	return params, nil
+}
+
+func (db *DB) execLocked(stmt Statement, params []variant.Value) (*ResultSet, error) {
+	cx := &evalCtx{db: db, params: params}
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return execSelect(cx, s, nil)
+	case *CreateTableStmt:
+		return db.execCreate(s)
+	case *DropTableStmt:
+		return db.execDrop(s)
+	case *InsertStmt:
+		return db.execInsert(cx, s)
+	case *UpdateStmt:
+		return db.execUpdate(cx, s)
+	case *DeleteStmt:
+		return db.execDelete(cx, s)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execCreate(s *CreateTableStmt) (*ResultSet, error) {
+	seen := make(map[string]bool, len(s.Columns))
+	cols := make([]Column, len(s.Columns))
+	for i, c := range s.Columns {
+		key := strings.ToLower(c.Name)
+		if seen[key] {
+			return nil, fmt.Errorf("sql: duplicate column %q", c.Name)
+		}
+		seen[key] = true
+		cols[i] = Column{Name: c.Name, Type: c.Type}
+	}
+	t := &Table{Name: strings.ToLower(s.Name), Columns: cols}
+	if err := db.tables.create(t, s.IfNotExists); err != nil {
+		return nil, err
+	}
+	return &ResultSet{}, nil
+}
+
+func (db *DB) execDrop(s *DropTableStmt) (*ResultSet, error) {
+	if err := db.tables.drop(s.Name, s.IfExists); err != nil {
+		return nil, err
+	}
+	return &ResultSet{}, nil
+}
+
+func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
+	t, ok := db.tables.get(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: table %q does not exist", s.Table)
+	}
+	// Column mapping: target index per provided value position.
+	targets := make([]int, 0, len(t.Columns))
+	if len(s.Columns) == 0 {
+		for i := range t.Columns {
+			targets = append(targets, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			idx := t.columnIndex(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("sql: table %q has no column %q", s.Table, name)
+			}
+			targets = append(targets, idx)
+		}
+	}
+
+	appendRow := func(vals []variant.Value) error {
+		if len(vals) != len(targets) {
+			return fmt.Errorf("sql: INSERT has %d values for %d columns", len(vals), len(targets))
+		}
+		row := make(Row, len(t.Columns))
+		for i := range row {
+			row[i] = variant.NewNull()
+		}
+		for i, idx := range targets {
+			v, err := coerceToColumn(vals[i], t.Columns[idx].Type)
+			if err != nil {
+				return fmt.Errorf("sql: column %q: %w", t.Columns[idx].Name, err)
+			}
+			row[idx] = v
+		}
+		t.Rows = append(t.Rows, row)
+		return nil
+	}
+
+	count := 0
+	if s.Query != nil {
+		rs, err := execSelect(cx, s.Query, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs.Rows {
+			if err := appendRow(r); err != nil {
+				return nil, err
+			}
+			count++
+		}
+	} else {
+		for _, exprRow := range s.Rows {
+			vals := make([]variant.Value, len(exprRow))
+			for i, e := range exprRow {
+				v, err := evalExpr(cx, e)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			if err := appendRow(vals); err != nil {
+				return nil, err
+			}
+			count++
+		}
+	}
+	// INSERT reports affected rows via one marker row per insert.
+	out := &ResultSet{Columns: []Column{{Name: "inserted", Type: "integer"}}}
+	for i := 0; i < count; i++ {
+		out.Rows = append(out.Rows, Row{variant.NewInt(1)})
+	}
+	return out, nil
+}
+
+func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
+	t, ok := db.tables.get(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: table %q does not exist", s.Table)
+	}
+	setIdx := make([]int, len(s.Set))
+	for i, sc := range s.Set {
+		idx := t.columnIndex(sc.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("sql: table %q has no column %q", s.Table, sc.Column)
+		}
+		setIdx[i] = idx
+	}
+	src := sourceInfo{alias: strings.ToLower(s.Table), columns: t.Columns, width: len(t.Columns)}
+	count := 0
+	for ri, row := range t.Rows {
+		sc := bindScope([]sourceInfo{src}, row, nil)
+		rcx := cx.withScope(sc)
+		if s.Where != nil {
+			ok, err := truthy(rcx, s.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		newRow := append(Row(nil), row...)
+		for i, clause := range s.Set {
+			v, err := evalExpr(rcx, clause.Value)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceToColumn(v, t.Columns[setIdx[i]].Type)
+			if err != nil {
+				return nil, fmt.Errorf("sql: column %q: %w", clause.Column, err)
+			}
+			newRow[setIdx[i]] = cv
+		}
+		t.Rows[ri] = newRow
+		count++
+	}
+	out := &ResultSet{Columns: []Column{{Name: "updated", Type: "integer"}}}
+	for i := 0; i < count; i++ {
+		out.Rows = append(out.Rows, Row{variant.NewInt(1)})
+	}
+	return out, nil
+}
+
+func (db *DB) execDelete(cx *evalCtx, s *DeleteStmt) (*ResultSet, error) {
+	t, ok := db.tables.get(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: table %q does not exist", s.Table)
+	}
+	src := sourceInfo{alias: strings.ToLower(s.Table), columns: t.Columns, width: len(t.Columns)}
+	var kept []Row
+	deleted := 0
+	for _, row := range t.Rows {
+		remove := true
+		if s.Where != nil {
+			sc := bindScope([]sourceInfo{src}, row, nil)
+			ok, err := truthy(cx.withScope(sc), s.Where)
+			if err != nil {
+				return nil, err
+			}
+			remove = ok
+		}
+		if remove {
+			deleted++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	t.Rows = kept
+	out := &ResultSet{Columns: []Column{{Name: "deleted", Type: "integer"}}}
+	for i := 0; i < deleted; i++ {
+		out.Rows = append(out.Rows, Row{variant.NewInt(1)})
+	}
+	return out, nil
+}
+
+// InsertRow appends a row of Go values to a table directly (bulk-load path
+// used by dataset loaders; bypasses SQL parsing).
+func (db *DB) InsertRow(table string, values ...any) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables.get(table)
+	if !ok {
+		return fmt.Errorf("sql: table %q does not exist", table)
+	}
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("sql: table %q has %d columns, got %d values", table, len(t.Columns), len(values))
+	}
+	row := make(Row, len(values))
+	for i, v := range values {
+		vv, err := variant.FromAny(v)
+		if err != nil {
+			return err
+		}
+		cv, err := coerceToColumn(vv, t.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("sql: column %q: %w", t.Columns[i].Name, err)
+		}
+		row[i] = cv
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}

@@ -1,0 +1,62 @@
+package sqldb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/variant"
+)
+
+// Dump writes the database as a SQL script (CREATE TABLE + INSERT
+// statements) that Restore re-executes — the durability mechanism standing
+// in for PostgreSQL's persistent storage. Tables are emitted in name order;
+// values are rendered as re-parseable literals.
+func (db *DB) Dump(w io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := db.tables.names()
+	sort.Strings(names)
+	for _, name := range names {
+		t, ok := db.tables.get(name)
+		if !ok {
+			continue
+		}
+		cols := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			cols[i] = fmt.Sprintf("%q %s", c.Name, c.Type)
+		}
+		if _, err := fmt.Fprintf(w, "CREATE TABLE %q (%s);\n", t.Name, strings.Join(cols, ", ")); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			vals := make([]string, len(row))
+			for i, v := range row {
+				vals[i] = v.SQLLiteral()
+				// Timestamps in variant columns need an explicit cast so the
+				// restored value keeps its kind (a bare literal would re-enter
+				// as text).
+				if t.Columns[i].Type == "variant" && v.Kind() == variant.Time {
+					vals[i] += "::timestamp"
+				}
+			}
+			if _, err := fmt.Fprintf(w, "INSERT INTO %q VALUES (%s);\n", t.Name, strings.Join(vals, ", ")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Restore executes a script produced by Dump into this (empty) database.
+func (db *DB) Restore(r io.Reader) error {
+	script, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("sql: reading dump: %w", err)
+	}
+	if _, err := db.ExecScript(string(script)); err != nil {
+		return fmt.Errorf("sql: restoring dump: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,485 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+
+	"repro/internal/variant"
+)
+
+// scope resolves column references during evaluation. Scopes chain to outer
+// scopes for LATERAL and correlated evaluation.
+type scope struct {
+	// sources are the FROM items visible at this level, in order.
+	sources []*boundSource
+	outer   *scope
+}
+
+// boundSource is one FROM item with its current row during iteration.
+type boundSource struct {
+	alias   string
+	columns []Column
+	row     Row
+}
+
+// lookup resolves a (table, column) reference. Unqualified names search all
+// sources at this level, then outer scopes; ambiguity is an error.
+func (s *scope) lookup(table, name string) (variant.Value, error) {
+	for sc := s; sc != nil; sc = sc.outer {
+		var found *variant.Value
+		matches := 0
+		for _, src := range sc.sources {
+			if table != "" && !strings.EqualFold(src.alias, table) {
+				continue
+			}
+			for i, c := range src.columns {
+				if strings.EqualFold(c.Name, name) {
+					v := src.row[i]
+					found = &v
+					matches++
+				}
+			}
+		}
+		if matches > 1 {
+			return variant.Value{}, fmt.Errorf("sql: ambiguous column reference %q", name)
+		}
+		if matches == 1 {
+			return *found, nil
+		}
+		if table != "" {
+			// Check the qualifier exists at this level before ascending.
+			for _, src := range sc.sources {
+				if strings.EqualFold(src.alias, table) {
+					return variant.Value{}, fmt.Errorf("sql: column %q not found in %q", name, table)
+				}
+			}
+		}
+	}
+	if table != "" {
+		return variant.Value{}, fmt.Errorf("sql: unknown table or alias %q", table)
+	}
+	return variant.Value{}, fmt.Errorf("sql: unknown column %q", name)
+}
+
+// evalCtx carries evaluation state: the DB (for function registries), bound
+// prepared-statement parameters, and the lexical scope.
+type evalCtx struct {
+	db     *DB
+	params []variant.Value
+	scope  *scope
+}
+
+func (cx *evalCtx) withScope(s *scope) *evalCtx {
+	return &evalCtx{db: cx.db, params: cx.params, scope: s}
+}
+
+// evalExpr evaluates a non-aggregate expression.
+func evalExpr(cx *evalCtx, e Expr) (variant.Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Value, nil
+
+	case *Param:
+		if x.Index > len(cx.params) {
+			return variant.Value{}, fmt.Errorf("sql: no value bound for parameter $%d", x.Index)
+		}
+		return cx.params[x.Index-1], nil
+
+	case *ColumnRef:
+		if cx.scope == nil {
+			return variant.Value{}, fmt.Errorf("sql: column %q referenced outside a row context", x.Name)
+		}
+		return cx.scope.lookup(x.Table, x.Name)
+
+	case *UnaryExpr:
+		v, err := evalExpr(cx, x.X)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		switch x.Op {
+		case "-":
+			if v.IsNull() {
+				return v, nil
+			}
+			if v.Kind() == variant.Int {
+				return variant.NewInt(-v.Int()), nil
+			}
+			f, err := v.AsFloat()
+			if err != nil {
+				return variant.Value{}, err
+			}
+			return variant.NewFloat(-f), nil
+		case "not":
+			if v.IsNull() {
+				return v, nil
+			}
+			b, err := v.AsBool()
+			if err != nil {
+				return variant.Value{}, err
+			}
+			return variant.NewBool(!b), nil
+		default:
+			return variant.Value{}, fmt.Errorf("sql: unknown unary operator %q", x.Op)
+		}
+
+	case *BinaryExpr:
+		return evalBinary(cx, x)
+
+	case *CastExpr:
+		v, err := evalExpr(cx, x.X)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return castValue(v, x.Type)
+
+	case *FuncExpr:
+		if isAggregateName(x.Name) {
+			return variant.Value{}, fmt.Errorf("sql: aggregate %s() not allowed here", x.Name)
+		}
+		return evalScalarFunc(cx, x)
+
+	case *InExpr:
+		v, err := evalExpr(cx, x.X)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		if v.IsNull() {
+			return variant.NewNull(), nil
+		}
+		anyNull := false
+		for _, item := range x.List {
+			iv, err := evalExpr(cx, item)
+			if err != nil {
+				return variant.Value{}, err
+			}
+			if iv.IsNull() {
+				anyNull = true
+				continue
+			}
+			if c, err := variant.Compare(v, iv); err == nil && c == 0 {
+				return variant.NewBool(!x.Not), nil
+			}
+		}
+		if anyNull {
+			return variant.NewNull(), nil
+		}
+		return variant.NewBool(x.Not), nil
+
+	case *IsNullExpr:
+		v, err := evalExpr(cx, x.X)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewBool(v.IsNull() != x.Not), nil
+
+	case *LikeExpr:
+		v, err := evalExpr(cx, x.X)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		pat, err := evalExpr(cx, x.Pattern)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		if v.IsNull() || pat.IsNull() {
+			return variant.NewNull(), nil
+		}
+		matched, err := likeMatch(v.AsText(), pat.AsText())
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewBool(matched != x.Not), nil
+
+	case *BetweenExpr:
+		v, err := evalExpr(cx, x.X)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		lo, err := evalExpr(cx, x.Lo)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		hi, err := evalExpr(cx, x.Hi)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return variant.NewNull(), nil
+		}
+		cLo, err := variant.Compare(v, lo)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		cHi, err := variant.Compare(v, hi)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewBool((cLo >= 0 && cHi <= 0) != x.Not), nil
+
+	case *CaseExpr:
+		if x.Operand != nil {
+			op, err := evalExpr(cx, x.Operand)
+			if err != nil {
+				return variant.Value{}, err
+			}
+			for _, arm := range x.Whens {
+				w, err := evalExpr(cx, arm.When)
+				if err != nil {
+					return variant.Value{}, err
+				}
+				if c, err := variant.Compare(op, w); err == nil && c == 0 && !op.IsNull() {
+					return evalExpr(cx, arm.Then)
+				}
+			}
+		} else {
+			for _, arm := range x.Whens {
+				w, err := evalExpr(cx, arm.When)
+				if err != nil {
+					return variant.Value{}, err
+				}
+				if !w.IsNull() {
+					b, err := w.AsBool()
+					if err != nil {
+						return variant.Value{}, err
+					}
+					if b {
+						return evalExpr(cx, arm.Then)
+					}
+				}
+			}
+		}
+		if x.Else != nil {
+			return evalExpr(cx, x.Else)
+		}
+		return variant.NewNull(), nil
+
+	default:
+		return variant.Value{}, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+func evalBinary(cx *evalCtx, x *BinaryExpr) (variant.Value, error) {
+	// Short-circuit logic operators with SQL three-valued semantics.
+	if x.Op == "and" || x.Op == "or" {
+		l, err := evalExpr(cx, x.L)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		var lb bool
+		lNull := l.IsNull()
+		if !lNull {
+			if lb, err = l.AsBool(); err != nil {
+				return variant.Value{}, err
+			}
+		}
+		if x.Op == "and" && !lNull && !lb {
+			return variant.NewBool(false), nil
+		}
+		if x.Op == "or" && !lNull && lb {
+			return variant.NewBool(true), nil
+		}
+		r, err := evalExpr(cx, x.R)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		rNull := r.IsNull()
+		var rb bool
+		if !rNull {
+			if rb, err = r.AsBool(); err != nil {
+				return variant.Value{}, err
+			}
+		}
+		switch x.Op {
+		case "and":
+			if !rNull && !rb {
+				return variant.NewBool(false), nil
+			}
+			if lNull || rNull {
+				return variant.NewNull(), nil
+			}
+			return variant.NewBool(true), nil
+		default: // or
+			if !rNull && rb {
+				return variant.NewBool(true), nil
+			}
+			if lNull || rNull {
+				return variant.NewNull(), nil
+			}
+			return variant.NewBool(false), nil
+		}
+	}
+
+	l, err := evalExpr(cx, x.L)
+	if err != nil {
+		return variant.Value{}, err
+	}
+	r, err := evalExpr(cx, x.R)
+	if err != nil {
+		return variant.Value{}, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return variant.NewNull(), nil
+	}
+
+	switch x.Op {
+	case "||":
+		return variant.NewText(l.AsText() + r.AsText()), nil
+	case "+", "-", "*", "/", "%":
+		return evalArith(x.Op, l, r)
+	case "=", "<>", "<", "<=", ">", ">=":
+		c, err := variant.Compare(l, r)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		var b bool
+		switch x.Op {
+		case "=":
+			b = c == 0
+		case "<>":
+			b = c != 0
+		case "<":
+			b = c < 0
+		case "<=":
+			b = c <= 0
+		case ">":
+			b = c > 0
+		case ">=":
+			b = c >= 0
+		}
+		return variant.NewBool(b), nil
+	default:
+		return variant.Value{}, fmt.Errorf("sql: unknown operator %q", x.Op)
+	}
+}
+
+func evalArith(op string, l, r variant.Value) (variant.Value, error) {
+	// Integer arithmetic stays integral (except /), like PostgreSQL... but
+	// unlike PostgreSQL, integer division producing a non-integral quotient
+	// promotes to float to avoid silent truncation surprises in analytics.
+	if l.Kind() == variant.Int && r.Kind() == variant.Int {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case "+":
+			return variant.NewInt(a + b), nil
+		case "-":
+			return variant.NewInt(a - b), nil
+		case "*":
+			return variant.NewInt(a * b), nil
+		case "%":
+			if b == 0 {
+				return variant.Value{}, fmt.Errorf("sql: modulo by zero")
+			}
+			return variant.NewInt(a % b), nil
+		case "/":
+			if b == 0 {
+				return variant.Value{}, fmt.Errorf("sql: division by zero")
+			}
+			if a%b == 0 {
+				return variant.NewInt(a / b), nil
+			}
+			return variant.NewFloat(float64(a) / float64(b)), nil
+		}
+	}
+	af, err := l.AsFloat()
+	if err != nil {
+		return variant.Value{}, fmt.Errorf("sql: %s: %w", op, err)
+	}
+	bf, err := r.AsFloat()
+	if err != nil {
+		return variant.Value{}, fmt.Errorf("sql: %s: %w", op, err)
+	}
+	switch op {
+	case "+":
+		return variant.NewFloat(af + bf), nil
+	case "-":
+		return variant.NewFloat(af - bf), nil
+	case "*":
+		return variant.NewFloat(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return variant.Value{}, fmt.Errorf("sql: division by zero")
+		}
+		return variant.NewFloat(af / bf), nil
+	case "%":
+		if bf == 0 {
+			return variant.Value{}, fmt.Errorf("sql: modulo by zero")
+		}
+		return variant.NewFloat(math.Mod(af, bf)), nil
+	}
+	return variant.Value{}, fmt.Errorf("sql: unknown arithmetic operator %q", op)
+}
+
+// castValue implements :: and CAST semantics.
+func castValue(v variant.Value, typ string) (variant.Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	switch typ {
+	case "integer":
+		i, err := v.AsInt()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewInt(i), nil
+	case "float":
+		f, err := v.AsFloat()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewFloat(f), nil
+	case "text":
+		return variant.NewText(v.AsText()), nil
+	case "boolean":
+		b, err := v.AsBool()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewBool(b), nil
+	case "timestamp":
+		t, err := v.AsTime()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewTime(t), nil
+	case "variant":
+		return v, nil
+	default:
+		return variant.Value{}, fmt.Errorf("sql: cannot cast to %q", typ)
+	}
+}
+
+// likeMatch compiles a SQL LIKE pattern (% and _) to a regexp.
+func likeMatch(s, pattern string) (bool, error) {
+	var sb strings.Builder
+	sb.WriteString("^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			sb.WriteString(".*")
+		case '_':
+			sb.WriteString(".")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteString("$")
+	re, err := regexp.Compile("(?s)" + sb.String())
+	if err != nil {
+		return false, fmt.Errorf("sql: invalid LIKE pattern %q: %w", pattern, err)
+	}
+	return re.MatchString(s), nil
+}
+
+// truthy evaluates a predicate for WHERE/HAVING/ON: NULL counts as false.
+func truthy(cx *evalCtx, e Expr) (bool, error) {
+	v, err := evalExpr(cx, e)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	return v.AsBool()
+}

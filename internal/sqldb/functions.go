@@ -1,0 +1,338 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/variant"
+)
+
+// ScalarFunc is a user-defined or builtin scalar function. The *DB handle
+// lets UDFs (like pgFMU's fmu_parest) run nested queries, mirroring how
+// PostgreSQL UDFs can use SPI.
+type ScalarFunc func(db *DB, args []variant.Value) (variant.Value, error)
+
+// TableFunc is a set-returning function usable in FROM (like PostgreSQL's
+// SRFs): it returns a full relation.
+type TableFunc func(db *DB, args []variant.Value) (*ResultSet, error)
+
+// registry holds scalar and table functions, case-insensitively keyed.
+type registry struct {
+	mu      sync.RWMutex
+	scalars map[string]ScalarFunc
+	tables  map[string]TableFunc
+}
+
+func newRegistry() *registry {
+	return &registry{
+		scalars: make(map[string]ScalarFunc),
+		tables:  make(map[string]TableFunc),
+	}
+}
+
+func (r *registry) registerScalar(name string, fn ScalarFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.scalars[strings.ToLower(name)] = fn
+}
+
+func (r *registry) registerTable(name string, fn TableFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tables[strings.ToLower(name)] = fn
+}
+
+func (r *registry) scalar(name string) (ScalarFunc, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.scalars[strings.ToLower(name)]
+	return fn, ok
+}
+
+func (r *registry) table(name string) (TableFunc, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.tables[strings.ToLower(name)]
+	return fn, ok
+}
+
+// isAggregateName reports whether name is a built-in aggregate.
+func isAggregateName(name string) bool {
+	switch strings.ToLower(name) {
+	case "count", "sum", "avg", "min", "max", "stddev":
+		return true
+	}
+	return false
+}
+
+// evalScalarFunc dispatches a scalar call: builtin math/string functions
+// first, then registered UDFs.
+func evalScalarFunc(cx *evalCtx, x *FuncExpr) (variant.Value, error) {
+	args := make([]variant.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := evalExpr(cx, a)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		args[i] = v
+	}
+	name := strings.ToLower(x.Name)
+	if fn, ok := builtinScalars[name]; ok {
+		return fn(args)
+	}
+	if fn, ok := cx.db.funcs.scalar(name); ok {
+		return fn(cx.db, args)
+	}
+	return variant.Value{}, fmt.Errorf("sql: unknown function %s()", x.Name)
+}
+
+func need(args []variant.Value, n int, name string) error {
+	if len(args) != n {
+		return fmt.Errorf("sql: %s() expects %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func float1(args []variant.Value, name string, f func(float64) float64) (variant.Value, error) {
+	if err := need(args, 1, name); err != nil {
+		return variant.Value{}, err
+	}
+	if args[0].IsNull() {
+		return variant.NewNull(), nil
+	}
+	v, err := args[0].AsFloat()
+	if err != nil {
+		return variant.Value{}, err
+	}
+	return variant.NewFloat(f(v)), nil
+}
+
+// builtinScalars are the always-available scalar functions.
+var builtinScalars = map[string]func([]variant.Value) (variant.Value, error){
+	"abs": func(args []variant.Value) (variant.Value, error) {
+		if err := need(args, 1, "abs"); err != nil {
+			return variant.Value{}, err
+		}
+		if args[0].IsNull() {
+			return variant.NewNull(), nil
+		}
+		if args[0].Kind() == variant.Int {
+			v := args[0].Int()
+			if v < 0 {
+				v = -v
+			}
+			return variant.NewInt(v), nil
+		}
+		f, err := args[0].AsFloat()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewFloat(math.Abs(f)), nil
+	},
+	"sqrt":  func(a []variant.Value) (variant.Value, error) { return float1(a, "sqrt", math.Sqrt) },
+	"exp":   func(a []variant.Value) (variant.Value, error) { return float1(a, "exp", math.Exp) },
+	"ln":    func(a []variant.Value) (variant.Value, error) { return float1(a, "ln", math.Log) },
+	"floor": func(a []variant.Value) (variant.Value, error) { return float1(a, "floor", math.Floor) },
+	"ceil":  func(a []variant.Value) (variant.Value, error) { return float1(a, "ceil", math.Ceil) },
+	"sin":   func(a []variant.Value) (variant.Value, error) { return float1(a, "sin", math.Sin) },
+	"cos":   func(a []variant.Value) (variant.Value, error) { return float1(a, "cos", math.Cos) },
+	"round": func(args []variant.Value) (variant.Value, error) {
+		if len(args) == 1 {
+			return float1(args, "round", math.Round)
+		}
+		if err := need(args, 2, "round"); err != nil {
+			return variant.Value{}, err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return variant.NewNull(), nil
+		}
+		v, err := args[0].AsFloat()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		digits, err := args[1].AsInt()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		scale := math.Pow(10, float64(digits))
+		return variant.NewFloat(math.Round(v*scale) / scale), nil
+	},
+	"power": func(args []variant.Value) (variant.Value, error) {
+		if err := need(args, 2, "power"); err != nil {
+			return variant.Value{}, err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return variant.NewNull(), nil
+		}
+		a, err := args[0].AsFloat()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		b, err := args[1].AsFloat()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewFloat(math.Pow(a, b)), nil
+	},
+	"length": func(args []variant.Value) (variant.Value, error) {
+		if err := need(args, 1, "length"); err != nil {
+			return variant.Value{}, err
+		}
+		if args[0].IsNull() {
+			return variant.NewNull(), nil
+		}
+		return variant.NewInt(int64(len([]rune(args[0].AsText())))), nil
+	},
+	"lower": func(args []variant.Value) (variant.Value, error) {
+		if err := need(args, 1, "lower"); err != nil {
+			return variant.Value{}, err
+		}
+		if args[0].IsNull() {
+			return variant.NewNull(), nil
+		}
+		return variant.NewText(strings.ToLower(args[0].AsText())), nil
+	},
+	"upper": func(args []variant.Value) (variant.Value, error) {
+		if err := need(args, 1, "upper"); err != nil {
+			return variant.Value{}, err
+		}
+		if args[0].IsNull() {
+			return variant.NewNull(), nil
+		}
+		return variant.NewText(strings.ToUpper(args[0].AsText())), nil
+	},
+	"trim": func(args []variant.Value) (variant.Value, error) {
+		if err := need(args, 1, "trim"); err != nil {
+			return variant.Value{}, err
+		}
+		if args[0].IsNull() {
+			return variant.NewNull(), nil
+		}
+		return variant.NewText(strings.TrimSpace(args[0].AsText())), nil
+	},
+	"coalesce": func(args []variant.Value) (variant.Value, error) {
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return variant.NewNull(), nil
+	},
+	"nullif": func(args []variant.Value) (variant.Value, error) {
+		if err := need(args, 2, "nullif"); err != nil {
+			return variant.Value{}, err
+		}
+		if c, err := variant.Compare(args[0], args[1]); err == nil && c == 0 {
+			return variant.NewNull(), nil
+		}
+		return args[0], nil
+	},
+	"greatest": func(args []variant.Value) (variant.Value, error) {
+		return extremum(args, "greatest", 1)
+	},
+	"least": func(args []variant.Value) (variant.Value, error) {
+		return extremum(args, "least", -1)
+	},
+	"extract_epoch": func(args []variant.Value) (variant.Value, error) {
+		// extract_epoch(ts) — seconds since Unix epoch; simplification of
+		// EXTRACT(EPOCH FROM ts).
+		if err := need(args, 1, "extract_epoch"); err != nil {
+			return variant.Value{}, err
+		}
+		if args[0].IsNull() {
+			return variant.NewNull(), nil
+		}
+		t, err := args[0].AsTime()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewFloat(float64(t.Unix())), nil
+	},
+	"to_timestamp": func(args []variant.Value) (variant.Value, error) {
+		if err := need(args, 1, "to_timestamp"); err != nil {
+			return variant.Value{}, err
+		}
+		if args[0].IsNull() {
+			return variant.NewNull(), nil
+		}
+		sec, err := args[0].AsFloat()
+		if err != nil {
+			return variant.Value{}, err
+		}
+		return variant.NewTime(time.Unix(int64(sec), 0).UTC()), nil
+	},
+}
+
+func extremum(args []variant.Value, name string, sign int) (variant.Value, error) {
+	if len(args) == 0 {
+		return variant.Value{}, fmt.Errorf("sql: %s() needs at least one argument", name)
+	}
+	best := variant.NewNull()
+	for _, a := range args {
+		if a.IsNull() {
+			continue
+		}
+		if best.IsNull() {
+			best = a
+			continue
+		}
+		c, err := variant.Compare(a, best)
+		if err != nil {
+			return variant.Value{}, err
+		}
+		if c*sign > 0 {
+			best = a
+		}
+	}
+	return best, nil
+}
+
+// builtinTableFuncs are the always-available set-returning functions.
+func builtinTableFunc(name string) (TableFunc, bool) {
+	switch strings.ToLower(name) {
+	case "generate_series":
+		return generateSeries, true
+	default:
+		return nil, false
+	}
+}
+
+// generateSeries mirrors PostgreSQL's integer generate_series(start, stop
+// [, step]).
+func generateSeries(_ *DB, args []variant.Value) (*ResultSet, error) {
+	if len(args) != 2 && len(args) != 3 {
+		return nil, fmt.Errorf("sql: generate_series() expects 2 or 3 arguments, got %d", len(args))
+	}
+	start, err := args[0].AsInt()
+	if err != nil {
+		return nil, fmt.Errorf("sql: generate_series start: %w", err)
+	}
+	stop, err := args[1].AsInt()
+	if err != nil {
+		return nil, fmt.Errorf("sql: generate_series stop: %w", err)
+	}
+	step := int64(1)
+	if len(args) == 3 {
+		step, err = args[2].AsInt()
+		if err != nil {
+			return nil, fmt.Errorf("sql: generate_series step: %w", err)
+		}
+		if step == 0 {
+			return nil, fmt.Errorf("sql: generate_series step cannot be zero")
+		}
+	}
+	rs := &ResultSet{Columns: []Column{{Name: "generate_series", Type: "integer"}}}
+	if step > 0 {
+		for v := start; v <= stop; v += step {
+			rs.Rows = append(rs.Rows, Row{variant.NewInt(v)})
+		}
+	} else {
+		for v := start; v >= stop; v += step {
+			rs.Rows = append(rs.Rows, Row{variant.NewInt(v)})
+		}
+	}
+	return rs, nil
+}

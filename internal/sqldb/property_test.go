@@ -1,0 +1,266 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/variant"
+)
+
+// TestArithmeticMatchesGoSemantics cross-checks SQL float arithmetic against
+// native Go evaluation on random operands.
+func TestArithmeticMatchesGoSemantics(t *testing.T) {
+	db := New()
+	f := func(a, b float64, opIdx uint8) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		// Keep magnitudes printable without precision loss surprises.
+		if math.Abs(a) > 1e12 || math.Abs(b) > 1e12 {
+			return true
+		}
+		ops := []string{"+", "-", "*"}
+		op := ops[int(opIdx)%len(ops)]
+		var want float64
+		switch op {
+		case "+":
+			want = a + b
+		case "-":
+			want = a - b
+		case "*":
+			want = a * b
+		}
+		rs, err := db.Query(fmt.Sprintf("SELECT $1 %s $2", op), a, b)
+		if err != nil {
+			return false
+		}
+		got, err := rs.Rows[0][0].AsFloat()
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(want) {
+			return math.IsNaN(got)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComparisonTrichotomy checks that exactly one of <, =, > holds for
+// random float pairs.
+func TestComparisonTrichotomy(t *testing.T) {
+	db := New()
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		count := 0
+		for _, op := range []string{"<", "=", ">"} {
+			rs, err := db.Query(fmt.Sprintf("SELECT $1 %s $2", op), a, b)
+			if err != nil {
+				return false
+			}
+			v, err := rs.Rows[0][0].AsBool()
+			if err != nil {
+				return false
+			}
+			if v {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInsertSelectRoundTrip checks that values inserted through SQL read
+// back equal for random integers and strings.
+func TestInsertSelectRoundTrip(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE rt (i int, s text)`)
+	f := func(i int64, s string) bool {
+		if _, err := db.Exec(`DELETE FROM rt`); err != nil {
+			return false
+		}
+		if _, err := db.Exec(`INSERT INTO rt VALUES ($1, $2)`, i, s); err != nil {
+			return false
+		}
+		rs, err := db.Query(`SELECT i, s FROM rt`)
+		if err != nil || len(rs.Rows) != 1 {
+			return false
+		}
+		return rs.Rows[0][0].Int() == i && rs.Rows[0][1].Text() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderByIsSorted checks that ORDER BY output is sorted for random
+// integer multisets.
+func TestOrderByIsSorted(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE ord (v int)`)
+	f := func(vals []int16) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		if _, err := db.Exec(`DELETE FROM ord`); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if err := db.InsertRow("ord", int64(v)); err != nil {
+				return false
+			}
+		}
+		rs, err := db.Query(`SELECT v FROM ord ORDER BY v`)
+		if err != nil || len(rs.Rows) != len(vals) {
+			return false
+		}
+		for i := 1; i < len(rs.Rows); i++ {
+			if rs.Rows[i][0].Int() < rs.Rows[i-1][0].Int() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggregateIdentities checks sum/avg/count consistency on random data.
+func TestAggregateIdentities(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE agg (v float)`)
+	f := func(vals []float32) bool {
+		if len(vals) == 0 || len(vals) > 64 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return true
+			}
+		}
+		if _, err := db.Exec(`DELETE FROM agg`); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if err := db.InsertRow("agg", float64(v)); err != nil {
+				return false
+			}
+		}
+		rs, err := db.Query(`SELECT sum(v), avg(v), count(v) FROM agg`)
+		if err != nil {
+			return false
+		}
+		sum, err1 := rs.Rows[0][0].AsFloat()
+		avg, err2 := rs.Rows[0][1].AsFloat()
+		n := rs.Rows[0][2].Int()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if n != int64(len(vals)) {
+			return false
+		}
+		// avg * count == sum (within float tolerance).
+		return math.Abs(avg*float64(n)-sum) <= 1e-6*math.Max(1, math.Abs(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLikeMatchesContains checks that '%sub%' LIKE agrees with Go's
+// substring search for plain-text needles.
+func TestLikeMatchesContains(t *testing.T) {
+	db := New()
+	f := func(s string, sub string) bool {
+		// Restrict to pattern-metacharacter-free needles.
+		for _, r := range sub {
+			if r == '%' || r == '_' || r == '\'' {
+				return true
+			}
+		}
+		for _, r := range s {
+			if r == '\'' {
+				return true
+			}
+		}
+		if len(s) > 100 || len(sub) > 10 {
+			return true
+		}
+		rs, err := db.Query(`SELECT $1 LIKE $2`, s, "%"+sub+"%")
+		if err != nil {
+			return false
+		}
+		got, err := rs.Rows[0][0].AsBool()
+		if err != nil {
+			return false
+		}
+		want := contains(s, sub)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func contains(s, sub string) bool {
+	if sub == "" {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestVariantColumnPreservesKind round-trips random variant values through
+// a variant column.
+func TestVariantColumnPreservesKind(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE vt (v variant)`)
+	f := func(i int64, s string, x float64, b bool, pick uint8) bool {
+		if _, err := db.Exec(`DELETE FROM vt`); err != nil {
+			return false
+		}
+		var in variant.Value
+		switch pick % 4 {
+		case 0:
+			in = variant.NewInt(i)
+		case 1:
+			if len(s) > 50 {
+				s = s[:50]
+			}
+			in = variant.NewText(s)
+		case 2:
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			in = variant.NewFloat(x)
+		case 3:
+			in = variant.NewBool(b)
+		}
+		if err := db.InsertRow("vt", in); err != nil {
+			return false
+		}
+		rs, err := db.Query(`SELECT v FROM vt`)
+		if err != nil || len(rs.Rows) != 1 {
+			return false
+		}
+		out := rs.Rows[0][0]
+		return out.Kind() == in.Kind() && out.Equal(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Frame is a column-oriented table of aligned series sharing one time axis —
+// the shape measurement datasets take (Table 6 in the paper): a time column
+// plus one value column per variable.
+type Frame struct {
+	Times   []float64
+	Columns []string
+	Data    map[string][]float64
+}
+
+// NewFrame creates an empty frame with the given value columns.
+func NewFrame(columns ...string) *Frame {
+	data := make(map[string][]float64, len(columns))
+	for _, c := range columns {
+		data[c] = nil
+	}
+	return &Frame{Columns: append([]string(nil), columns...), Data: data}
+}
+
+// AppendRow adds one sample for every column. values must follow the order of
+// f.Columns.
+func (f *Frame) AppendRow(t float64, values ...float64) error {
+	if len(values) != len(f.Columns) {
+		return fmt.Errorf("timeseries: row has %d values, frame has %d columns", len(values), len(f.Columns))
+	}
+	if n := len(f.Times); n > 0 && t <= f.Times[n-1] {
+		return fmt.Errorf("timeseries: time %v not after last time %v", t, f.Times[n-1])
+	}
+	f.Times = append(f.Times, t)
+	for i, c := range f.Columns {
+		f.Data[c] = append(f.Data[c], values[i])
+	}
+	return nil
+}
+
+// Len reports the number of rows.
+func (f *Frame) Len() int { return len(f.Times) }
+
+// Series extracts one column as a Series sharing the frame's time axis.
+func (f *Frame) Series(column string) (*Series, error) {
+	vals, ok := f.Data[column]
+	if !ok {
+		return nil, fmt.Errorf("timeseries: frame has no column %q", column)
+	}
+	return New(append([]float64(nil), f.Times...), append([]float64(nil), vals...))
+}
+
+// HasColumn reports whether the frame carries the named value column.
+func (f *Frame) HasColumn(column string) bool {
+	_, ok := f.Data[column]
+	return ok
+}
+
+// Slice returns the frame rows with from <= t <= to.
+func (f *Frame) Slice(from, to float64) *Frame {
+	out := NewFrame(f.Columns...)
+	for i, t := range f.Times {
+		if t < from || t > to {
+			continue
+		}
+		row := make([]float64, len(f.Columns))
+		for j, c := range f.Columns {
+			row[j] = f.Data[c][i]
+		}
+		// Times within a frame are strictly increasing, so AppendRow cannot fail.
+		_ = out.AppendRow(t, row...)
+	}
+	return out
+}
+
+// Scale returns a copy with every value column multiplied by factor (times
+// are untouched) — the paper's synthetic-dataset construction.
+func (f *Frame) Scale(factor float64) *Frame {
+	out := NewFrame(f.Columns...)
+	out.Times = append([]float64(nil), f.Times...)
+	for _, c := range f.Columns {
+		col := make([]float64, len(f.Data[c]))
+		for i, v := range f.Data[c] {
+			col[i] = v * factor
+		}
+		out.Data[c] = col
+	}
+	return out
+}
+
+// WriteCSV writes the frame with a header row: time,<columns...>.
+// This is the text-file interchange format the traditional Python stack
+// shuttles between tools; the pystack baseline uses it.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"time"}, f.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i, t := range f.Times {
+		row[0] = strconv.FormatFloat(t, 'g', -1, 64)
+		for j, c := range f.Columns {
+			row[j+1] = strconv.FormatFloat(f.Data[c][i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a frame written by WriteCSV.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: reading CSV header: %w", err)
+	}
+	if len(header) < 1 || header[0] != "time" {
+		return nil, fmt.Errorf("timeseries: CSV header must start with \"time\", got %v", header)
+	}
+	f := NewFrame(header[1:]...)
+	for lineNo := 2; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: reading CSV line %d: %w", lineNo, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("timeseries: CSV line %d has %d fields, want %d", lineNo, len(rec), len(header))
+		}
+		vals := make([]float64, len(rec))
+		for i, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("timeseries: CSV line %d field %d: %w", lineNo, i, err)
+			}
+			vals[i] = v
+		}
+		if err := f.AppendRow(vals[0], vals[1:]...); err != nil {
+			return nil, fmt.Errorf("timeseries: CSV line %d: %w", lineNo, err)
+		}
+	}
+	return f, nil
+}

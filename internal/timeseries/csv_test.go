@@ -1,0 +1,122 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildFrame(t *testing.T) *Frame {
+	t.Helper()
+	f := NewFrame("x", "y", "u")
+	rows := [][4]float64{
+		{0, 20.7507, 0, 0},
+		{3600, 23.6231, 0.1381, 0.0177},
+		{7200, 24.1, 0.2, 0.05},
+	}
+	for _, r := range rows {
+		if err := f.AppendRow(r[0], r[1], r[2], r[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestFrameAppendRowValidation(t *testing.T) {
+	f := NewFrame("a")
+	if err := f.AppendRow(0, 1, 2); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := f.AppendRow(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AppendRow(0, 2); err == nil {
+		t.Error("non-increasing time should fail")
+	}
+}
+
+func TestFrameSeries(t *testing.T) {
+	f := buildFrame(t)
+	s, err := f.Series("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Values[1] != 0.1381 {
+		t.Errorf("Series(y) = %+v", s)
+	}
+	if _, err := f.Series("missing"); err == nil {
+		t.Error("missing column should fail")
+	}
+	if !f.HasColumn("x") || f.HasColumn("zzz") {
+		t.Error("HasColumn misbehaving")
+	}
+}
+
+func TestFrameSeriesIsCopy(t *testing.T) {
+	f := buildFrame(t)
+	s, _ := f.Series("x")
+	s.Values[0] = -1
+	if f.Data["x"][0] == -1 {
+		t.Error("Series must copy frame data")
+	}
+}
+
+func TestFrameSlice(t *testing.T) {
+	f := buildFrame(t)
+	sub := f.Slice(3600, 7200)
+	if sub.Len() != 2 || sub.Times[0] != 3600 {
+		t.Errorf("Slice = %+v", sub)
+	}
+}
+
+func TestFrameScale(t *testing.T) {
+	f := buildFrame(t)
+	g := f.Scale(2)
+	if g.Data["x"][0] != 2*20.7507 {
+		t.Errorf("Scale x[0] = %v", g.Data["x"][0])
+	}
+	if g.Times[1] != f.Times[1] {
+		t.Error("Scale must not change the time axis")
+	}
+	if f.Data["x"][0] != 20.7507 {
+		t.Error("Scale must not mutate the receiver")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := buildFrame(t)
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != f.Len() {
+		t.Fatalf("round trip Len = %d, want %d", g.Len(), f.Len())
+	}
+	for _, c := range f.Columns {
+		for i := range f.Times {
+			if math.Abs(g.Data[c][i]-f.Data[c][i]) > 1e-12 {
+				t.Errorf("column %s row %d: %v != %v", c, i, g.Data[c][i], f.Data[c][i])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                   // no header
+		"wrong,x\n0,1\n",     // header must start with time
+		"time,x\n0\n",        // short row
+		"time,x\n0,abc\n",    // non-numeric
+		"time,x\n1,0\n0,0\n", // decreasing times
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", in)
+		}
+	}
+}

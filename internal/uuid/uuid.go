@@ -1,0 +1,70 @@
+// Package uuid generates RFC 4122 identifiers. The pgFMU model catalogue
+// identifies FMU models by UUID (paper §5); random (v4) UUIDs name freshly
+// loaded models and deterministic (v5-style, content-hashed) UUIDs give
+// identical FMU payloads identical identities, which is what lets pgFMU
+// reuse one stored FMU across many instances.
+package uuid
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// UUID is a 128-bit RFC 4122 identifier.
+type UUID [16]byte
+
+// String renders the canonical 8-4-4-4-12 hex form.
+func (u UUID) String() string {
+	return fmt.Sprintf("%x-%x-%x-%x-%x", u[0:4], u[4:6], u[6:8], u[8:10], u[10:16])
+}
+
+// NewRandom returns a version-4 (random) UUID.
+func NewRandom() (UUID, error) {
+	var u UUID
+	if _, err := rand.Read(u[:]); err != nil {
+		return UUID{}, fmt.Errorf("uuid: reading randomness: %w", err)
+	}
+	u[6] = (u[6] & 0x0f) | 0x40 // version 4
+	u[8] = (u[8] & 0x3f) | 0x80 // RFC 4122 variant
+	return u, nil
+}
+
+// FromContent returns a deterministic UUID derived from hashing data
+// (version-5-like, with SHA-256 in place of SHA-1).
+func FromContent(data []byte) UUID {
+	sum := sha256.Sum256(data)
+	var u UUID
+	copy(u[:], sum[:16])
+	u[6] = (u[6] & 0x0f) | 0x50 // version 5
+	u[8] = (u[8] & 0x3f) | 0x80 // RFC 4122 variant
+	return u
+}
+
+// Parse reads the canonical textual form back into a UUID.
+func Parse(s string) (UUID, error) {
+	var u UUID
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return UUID{}, fmt.Errorf("uuid: malformed UUID %q", s)
+	}
+	hexIndex := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '-' {
+			continue
+		}
+		if i+1 >= len(s) {
+			return UUID{}, fmt.Errorf("uuid: malformed UUID %q", s)
+		}
+		var b byte
+		if _, err := fmt.Sscanf(s[i:i+2], "%02x", &b); err != nil {
+			return UUID{}, fmt.Errorf("uuid: malformed UUID %q: %w", s, err)
+		}
+		u[hexIndex] = b
+		hexIndex++
+		i++
+	}
+	if hexIndex != 16 {
+		return UUID{}, fmt.Errorf("uuid: malformed UUID %q", s)
+	}
+	return u, nil
+}

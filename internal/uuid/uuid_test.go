@@ -1,0 +1,97 @@
+package uuid
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandomFormat(t *testing.T) {
+	u, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := u.String()
+	if len(s) != 36 || strings.Count(s, "-") != 4 {
+		t.Errorf("String() = %q, not canonical form", s)
+	}
+	if s[14] != '4' {
+		t.Errorf("version nibble = %c, want 4", s[14])
+	}
+	switch s[19] {
+	case '8', '9', 'a', 'b':
+	default:
+		t.Errorf("variant nibble = %c, want one of 89ab", s[19])
+	}
+}
+
+func TestNewRandomUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		u, err := NewRandom()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := u.String()
+		if seen[s] {
+			t.Fatalf("duplicate random UUID %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestFromContentDeterministic(t *testing.T) {
+	a := FromContent([]byte("model"))
+	b := FromContent([]byte("model"))
+	c := FromContent([]byte("other"))
+	if a != b {
+		t.Error("same content should give same UUID")
+	}
+	if a == c {
+		t.Error("different content should give different UUID")
+	}
+	if s := a.String(); s[14] != '5' {
+		t.Errorf("content UUID version nibble = %c, want 5", s[14])
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	u, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(u.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != u {
+		t.Errorf("Parse(String()) = %v, want %v", parsed, u)
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		u := UUID(raw)
+		parsed, err := Parse(u.String())
+		return err == nil && parsed == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-uuid",
+		"12345678-1234-1234-1234-12345678901",   // too short
+		"12345678-1234-1234-1234-1234567890123", // too long
+		"12345678x1234-1234-1234-123456789012",  // wrong separator
+		"zzzzzzzz-1234-1234-1234-123456789012",  // non-hex
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}

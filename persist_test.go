@@ -1,0 +1,127 @@
+package pgfmu
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSaveAndOpenFileRoundTrip(t *testing.T) {
+	db := openFast(t)
+	loadHP1(t, db, "measurements", 1)
+	if _, err := db.CreateModel(dataset.HP1Source, "hp"); err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate so the persisted instance carries fitted (non-default)
+	// values.
+	results, err := db.Calibrate([]string{"hp"},
+		[]string{"SELECT time, x, u FROM measurements"}, []string{"Cp", "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fittedCp := results[0].Params["Cp"]
+
+	path := filepath.Join(t.TempDir(), "env.sql")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User tables survive.
+	rs, err := restored.Query(`SELECT count(*) FROM measurements`)
+	if err != nil || rs.Rows[0][0].Int() == 0 {
+		t.Fatalf("measurements after restore = %v, %v", rs, err)
+	}
+	// The instance is alive with its fitted parameters.
+	initial, _, _, err := restored.Get("hp", "Cp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _ := initial.AsFloat()
+	if math.Abs(cp-fittedCp) > 1e-9 {
+		t.Errorf("restored Cp = %v, want %v", cp, fittedCp)
+	}
+	// And fully operational: simulate through SQL.
+	rs, err = restored.Query(
+		`SELECT count(*) FROM fmu_simulate('hp', 'SELECT * FROM measurements')`)
+	if err != nil || rs.Rows[0][0].Int() == 0 {
+		t.Fatalf("simulate after restore = %v, %v", rs, err)
+	}
+	// Even further calibration works on the restored session.
+	if _, err := restored.Calibrate([]string{"hp"},
+		[]string{"SELECT time, x, u FROM measurements"}, []string{"Cp", "R"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing.sql")); err == nil {
+		t.Error("missing file should fail")
+	}
+	// A dump without the catalogue is rejected.
+	bad := filepath.Join(t.TempDir(), "bad.sql")
+	db := openFast(t)
+	if _, err := db.Exec(`CREATE TABLE only_this (a int)`); err != nil {
+		t.Fatal(err)
+	}
+	// Build a dump by hand that lacks catalogue tables.
+	if err := writeTestFile(bad, `CREATE TABLE "only_this" ("a" integer);`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Error("dump without catalogue should fail")
+	}
+}
+
+func TestSaveDumpIsDeterministicSQL(t *testing.T) {
+	db := openFast(t)
+	if _, err := db.Exec(`CREATE TABLE t (a int, b text, c variant)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1, 'it''s', '2015-02-01 00:00:00'::timestamp)`); err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(t.TempDir(), "a.sql")
+	p2 := filepath.Join(t.TempDir(), "b.sql")
+	if err := db.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := readTestFile(t, p1), readTestFile(t, p2)
+	if b1 != b2 {
+		t.Error("Save must be deterministic")
+	}
+	// Restore keeps the timestamp kind inside the variant column.
+	restored, err := OpenFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := restored.Query(`SELECT c FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Kind().String() != "timestamp" {
+		t.Errorf("variant timestamp kind after restore = %v", rs.Rows[0][0].Kind())
+	}
+}
+
+func writeTestFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func readTestFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,212 @@
+// Package pgfmu is the public API of the pgFMU reproduction: an embedded
+// SQL database extended with in-DBMS storage, simulation, calibration, and
+// validation of FMU-based physical models (Rybnytska et al., "pgFMU:
+// Integrating Data Management with Physical System Modelling", EDBT 2020).
+//
+// Open a database, load measurements, and drive everything with SQL:
+//
+//	db, _ := pgfmu.Open()
+//	db.Exec(`CREATE TABLE measurements (time float, x float, u float)`)
+//	// ... INSERT measurements ...
+//	db.Query(`SELECT fmu_create('/tmp/hp1.fmu', 'HP1Instance1')`)
+//	db.Query(`SELECT fmu_parest('{HP1Instance1}',
+//	                            '{SELECT * FROM measurements}', '{Cp, R}')`)
+//	rows, _ := db.Query(`SELECT * FROM fmu_simulate('HP1Instance1',
+//	                            'SELECT * FROM measurements')`)
+//
+// Every UDF is also reachable through typed Go methods (CreateModel,
+// Calibrate, Simulate, ...). The MADlib-equivalent ML UDFs (arima_train,
+// logregr_train, ...) are installed alongside.
+package pgfmu
+
+import (
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/ml"
+	"repro/internal/sqldb"
+	"repro/internal/variant"
+)
+
+// DB is one pgFMU environment: SQL engine + model catalogue + FMU storage.
+type DB struct {
+	session *core.Session
+}
+
+// Rows is a materialized query result.
+type Rows = sqldb.ResultSet
+
+// Value is a dynamically typed SQL datum.
+type Value = variant.Value
+
+// CalibrationResult reports one instance's fmu_parest outcome.
+type CalibrationResult = core.ParestResult
+
+// Option configures Open.
+type Option = core.Option
+
+// WithMIOptimization toggles the multi-instance warm-start optimization
+// (on = the paper's pgFMU+, off = pgFMU-). Default on.
+func WithMIOptimization(on bool) Option { return core.WithMIOptimization(on) }
+
+// WithSimilarityThreshold sets the MI gate as a relative L2 fraction
+// (paper default 0.20).
+func WithSimilarityThreshold(t float64) Option { return core.WithThreshold(t) }
+
+// EstimatorOptions tunes the parameter-estimation engine.
+type EstimatorOptions = estimate.Options
+
+// GAOptions tunes the Global Search phase.
+type GAOptions = estimate.GAOptions
+
+// LocalOptions tunes the Local Search phase.
+type LocalOptions = estimate.LocalOptions
+
+// WithEstimatorOptions overrides the estimation configuration.
+func WithEstimatorOptions(o EstimatorOptions) Option { return core.WithEstimateOptions(o) }
+
+// Open creates a pgFMU database with the model catalogue, the fmu_* UDF
+// suite, and the ML UDFs installed.
+func Open(opts ...Option) (*DB, error) {
+	session, err := core.NewSession(opts...)
+	if err != nil {
+		return nil, err
+	}
+	ml.RegisterUDFs(session.DB())
+	return &DB{session: session}, nil
+}
+
+// Exec runs a statement for its side effects; the int is the affected row
+// count (SELECT row count for queries).
+func (db *DB) Exec(sql string, args ...any) (int, error) {
+	return db.session.DB().Exec(sql, args...)
+}
+
+// Query runs a statement and returns its rows. Placeholders $1, $2, ...
+// bind args.
+func (db *DB) Query(sql string, args ...any) (*Rows, error) {
+	return db.session.DB().Query(sql, args...)
+}
+
+// SQL exposes the underlying engine (UDF registration, direct access).
+func (db *DB) SQL() *sqldb.DB { return db.session.DB() }
+
+// Session exposes the pgFMU core for advanced use.
+func (db *DB) Session() *core.Session { return db.session }
+
+// CreateModel implements fmu_create: modelRef is a .fmu path, a .mo path,
+// or inline Modelica source; instanceID may be empty to auto-generate.
+func (db *DB) CreateModel(modelRef, instanceID string) (string, error) {
+	return db.session.Create(modelRef, instanceID)
+}
+
+// CopyInstance implements fmu_copy.
+func (db *DB) CopyInstance(instanceID, newInstanceID string) (string, error) {
+	return db.session.Copy(instanceID, newInstanceID)
+}
+
+// Variables implements fmu_variables: one row per model variable with
+// varType, current initial value and bounds.
+func (db *DB) Variables(instanceID string) (*Rows, error) {
+	return db.session.Variables(instanceID)
+}
+
+// Get implements fmu_get: current value and bounds for one variable.
+func (db *DB) Get(instanceID, varName string) (initial, minV, maxV Value, err error) {
+	return db.session.Get(instanceID, varName)
+}
+
+// SetInitial implements fmu_set_initial.
+func (db *DB) SetInitial(instanceID, varName string, v float64) error {
+	return db.session.SetInitial(instanceID, varName, v)
+}
+
+// SetMinimum implements fmu_set_minimum.
+func (db *DB) SetMinimum(instanceID, varName string, v float64) error {
+	return db.session.SetMinimum(instanceID, varName, v)
+}
+
+// SetMaximum implements fmu_set_maximum.
+func (db *DB) SetMaximum(instanceID, varName string, v float64) error {
+	return db.session.SetMaximum(instanceID, varName, v)
+}
+
+// ResetInstance implements fmu_reset.
+func (db *DB) ResetInstance(instanceID string) error {
+	return db.session.Reset(instanceID)
+}
+
+// DeleteInstance implements fmu_delete_instance.
+func (db *DB) DeleteInstance(instanceID string) error {
+	return db.session.DeleteInstance(instanceID)
+}
+
+// DeleteModel implements fmu_delete_model (cascades to instances).
+func (db *DB) DeleteModel(modelID string) error {
+	return db.session.DeleteModel(modelID)
+}
+
+// Calibrate implements fmu_parest: estimate pars (nil = all parameters) of
+// each instance against its input query, write fitted values back, and
+// return per-instance errors.
+func (db *DB) Calibrate(instanceIDs, inputSQLs, pars []string) ([]CalibrationResult, error) {
+	return db.session.Parest(instanceIDs, inputSQLs, pars)
+}
+
+// Validate computes the hold-out RMSE of an instance's current parameters.
+func (db *DB) Validate(instanceID, inputSQL string, pars []string) (float64, error) {
+	return db.session.ValidateInstance(instanceID, inputSQL, pars)
+}
+
+// SimulateOptions mirrors fmu_simulate's optional arguments.
+type SimulateOptions = core.SimulateRequest
+
+// Simulate implements fmu_simulate, returning the Table-4-shaped relation
+// (simulationTime, instanceId, varName, value).
+func (db *DB) Simulate(req SimulateOptions) (*Rows, error) {
+	return db.session.Simulate(req)
+}
+
+// Save writes the entire environment — catalogue, FMU archives, and user
+// tables — as a SQL script to path (the durability mechanism standing in for
+// PostgreSQL's persistent storage).
+func (db *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.session.Dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenFile restores an environment saved with Save: user tables reappear,
+// FMUs are re-read from the in-catalogue FMU storage, and every model
+// instance is re-instantiated with its persisted values.
+func OpenFile(path string, opts ...Option) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	session, err := core.RestoreSession(f, opts...)
+	if err != nil {
+		return nil, err
+	}
+	ml.RegisterUDFs(session.DB())
+	return &DB{session: session}, nil
+}
+
+// ControlOptions mirrors fmu_control's arguments (§9 future work: in-DBMS
+// FMU-based dynamic optimization).
+type ControlOptions = core.ControlRequest
+
+// Control implements fmu_control: optimize a control input over a horizon
+// so a target state/output tracks a setpoint, returning the schedule and the
+// predicted trajectory as a relation (time, varName, value).
+func (db *DB) Control(req ControlOptions) (*Rows, error) {
+	return db.session.Control(req)
+}
