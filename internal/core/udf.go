@@ -60,7 +60,7 @@ func (s *Session) registerUDFs() {
 	})
 
 	// fmu_variables(instanceId) -> table
-	db.RegisterTable("fmu_variables", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
+	db.RegisterTableReadOnly("fmu_variables", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
 		if len(args) != 1 {
 			return nil, fmt.Errorf("fmu_variables(instanceId) expects 1 argument")
 		}
@@ -70,7 +70,7 @@ func (s *Session) registerUDFs() {
 	})
 
 	// fmu_get(instanceId, varName) -> table(initialValue, minValue, maxValue)
-	db.RegisterTable("fmu_get", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
+	db.RegisterTableReadOnly("fmu_get", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
 		if len(args) != 2 {
 			return nil, fmt.Errorf("fmu_get(instanceId, varName) expects 2 arguments")
 		}
@@ -230,12 +230,12 @@ func (s *Session) registerUDFs() {
 	s.registerControlUDF()
 
 	// fmu_models() -> catalogue summary for interactive inspection.
-	db.RegisterTable("fmu_models", func(d *sqldb.DB, _ []variant.Value) (*sqldb.ResultSet, error) {
+	db.RegisterTableReadOnly("fmu_models", func(d *sqldb.DB, _ []variant.Value) (*sqldb.ResultSet, error) {
 		return d.QueryNested(`SELECT modelid, modelname, fmusize FROM model`)
 	})
 
 	// fmu_instances() -> live instance listing.
-	db.RegisterTable("fmu_instances", func(d *sqldb.DB, _ []variant.Value) (*sqldb.ResultSet, error) {
+	db.RegisterTableReadOnly("fmu_instances", func(d *sqldb.DB, _ []variant.Value) (*sqldb.ResultSet, error) {
 		return d.QueryNested(`SELECT instanceid, modelid FROM modelinstance`)
 	})
 }

@@ -182,6 +182,23 @@ type DropTableStmt struct {
 	IfExists bool
 }
 
+// CreateIndexStmt is CREATE INDEX [IF NOT EXISTS] name ON table (column)
+// [USING hash|btree]. The default access method is btree (ordered), which
+// serves both equality and range predicates; hash serves equality only.
+type CreateIndexStmt struct {
+	Name        string
+	Table       string
+	Column      string
+	Using       string // IndexHash or IndexOrdered
+	IfNotExists bool
+}
+
+// DropIndexStmt is DROP INDEX [IF EXISTS] name.
+type DropIndexStmt struct {
+	Name     string
+	IfExists bool
+}
+
 // InsertStmt is INSERT INTO ... VALUES or INSERT INTO ... SELECT.
 type InsertStmt struct {
 	Table   string
@@ -211,6 +228,8 @@ type DeleteStmt struct {
 
 func (*CreateTableStmt) stmt() {}
 func (*DropTableStmt) stmt()   {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropIndexStmt) stmt()   {}
 func (*InsertStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}

@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -48,11 +49,15 @@ func (rs *ResultSet) Scan(i int, column string) (variant.Value, error) {
 	return rs.Rows[i][idx], nil
 }
 
-// Table is a heap table: a schema plus rows. Access is serialized by the DB.
+// Table is a heap table: a schema plus rows and its secondary indexes.
+// Reads may proceed concurrently under the DB's shared lock; all mutation
+// (rows and indexes) happens under the DB's exclusive lock.
 type Table struct {
 	Name    string
 	Columns []Column
 	Rows    []Row
+
+	indexes []*index
 }
 
 func (t *Table) columnIndex(name string) int {
@@ -102,14 +107,19 @@ func coerceToColumn(v variant.Value, colType string) (variant.Value, error) {
 	}
 }
 
-// catalog maps lowercase table names to tables.
+// catalog maps lowercase table names to tables and tracks the database-wide
+// index namespace (index names are unique across tables, as in PostgreSQL).
 type catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	indexes map[string]string // index name -> owning table name
 }
 
 func newCatalog() *catalog {
-	return &catalog{tables: make(map[string]*Table)}
+	return &catalog{
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]string),
+	}
 }
 
 func (c *catalog) get(name string) (*Table, bool) {
@@ -137,14 +147,103 @@ func (c *catalog) drop(name string, ifExists bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(name)
-	if _, exists := c.tables[key]; !exists {
+	t, exists := c.tables[key]
+	if !exists {
 		if ifExists {
 			return nil
 		}
 		return fmt.Errorf("sql: table %q does not exist", name)
 	}
+	// Dropping a table drops its indexes, freeing their names.
+	for _, ix := range t.indexes {
+		delete(c.indexes, ix.name)
+	}
 	delete(c.tables, key)
 	return nil
+}
+
+// createIndex validates, builds, and attaches a secondary index.
+func (c *catalog) createIndex(info IndexInfo, ifNotExists bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := strings.ToLower(info.Name)
+	if _, exists := c.indexes[name]; exists {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("sql: index %q already exists", info.Name)
+	}
+	t, ok := c.tables[strings.ToLower(info.Table)]
+	if !ok {
+		return fmt.Errorf("sql: table %q does not exist", info.Table)
+	}
+	col := t.columnIndex(info.Column)
+	if col < 0 {
+		return fmt.Errorf("sql: table %q has no column %q", info.Table, info.Column)
+	}
+	if t.Columns[col].Type == "variant" {
+		return fmt.Errorf("sql: cannot index variant column %q", info.Column)
+	}
+	if info.Kind != IndexHash && info.Kind != IndexOrdered {
+		return fmt.Errorf("sql: unsupported index access method %q (want hash or btree)", info.Kind)
+	}
+	ix := &index{
+		name:   name,
+		table:  t.Name,
+		column: strings.ToLower(t.Columns[col].Name),
+		kind:   info.Kind,
+		col:    col,
+	}
+	if err := ix.build(t.Rows); err != nil {
+		return err
+	}
+	t.indexes = append(t.indexes, ix)
+	c.indexes[name] = t.Name
+	return nil
+}
+
+// dropIndex removes an index by name.
+func (c *catalog) dropIndex(name string, ifExists bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	tableName, exists := c.indexes[key]
+	if !exists {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("sql: index %q does not exist", name)
+	}
+	if t, ok := c.tables[tableName]; ok {
+		for i, ix := range t.indexes {
+			if ix.name == key {
+				t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(c.indexes, key)
+	return nil
+}
+
+// indexInfos lists every index, ordered by (table, name) for deterministic
+// dumps and introspection.
+func (c *catalog) indexInfos() []IndexInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []IndexInfo
+	for _, t := range c.tables {
+		for _, ix := range t.indexes {
+			out = append(out, ix.info())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 func (c *catalog) names() []string {

@@ -9,11 +9,15 @@ import (
 )
 
 // DB is an embedded, in-memory SQL database with a UDF registry — the
-// PostgreSQL stand-in the pgFMU core extends. It is safe for concurrent use;
-// statements execute under a coarse database lock (serializable by
-// construction).
+// PostgreSQL stand-in the pgFMU core extends. It is safe for concurrent use.
+// Statements run under a database-wide reader/writer lock: read-only
+// SELECTs share the lock and execute in parallel (the paper's multi-instance
+// fan-out workload), while DML, DDL, and any statement invoking a UDF with
+// possible side effects take it exclusively. UDFs registered through
+// RegisterScalarReadOnly/RegisterTableReadOnly declare themselves safe for
+// shared execution.
 type DB struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	tables *catalog
 	funcs  *registry
 	// planCache caches parsed statements keyed by SQL text — the paper's
@@ -45,14 +49,30 @@ func (db *DB) EnablePlanCache(on bool) {
 	}
 }
 
-// RegisterScalar registers a scalar UDF callable from any expression.
+// RegisterScalar registers a scalar UDF callable from any expression. The
+// function is assumed to have side effects: statements invoking it take the
+// database lock exclusively. Use RegisterScalarReadOnly for pure functions.
 func (db *DB) RegisterScalar(name string, fn ScalarFunc) {
-	db.funcs.registerScalar(name, fn)
+	db.funcs.registerScalar(name, fn, false)
 }
 
-// RegisterTable registers a set-returning UDF callable in FROM.
+// RegisterScalarReadOnly registers a scalar UDF that promises not to modify
+// the database (directly or via QueryNested), allowing SELECTs that call it
+// to run concurrently under the shared lock.
+func (db *DB) RegisterScalarReadOnly(name string, fn ScalarFunc) {
+	db.funcs.registerScalar(name, fn, true)
+}
+
+// RegisterTable registers a set-returning UDF callable in FROM. Like
+// RegisterScalar, it is assumed to have side effects.
 func (db *DB) RegisterTable(name string, fn TableFunc) {
-	db.funcs.registerTable(name, fn)
+	db.funcs.registerTable(name, fn, false)
+}
+
+// RegisterTableReadOnly registers a set-returning UDF that promises not to
+// modify the database, allowing concurrent shared-lock execution.
+func (db *DB) RegisterTableReadOnly(name string, fn TableFunc) {
+	db.funcs.registerTable(name, fn, true)
 }
 
 // TableNames lists the catalogued tables (lowercased).
@@ -97,9 +117,113 @@ func (db *DB) Query(sql string, args ...any) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	if db.isReadOnly(stmt) {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	} else {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	}
 	return db.execLocked(stmt, params)
+}
+
+// isReadOnly reports whether a statement can run under the shared lock: a
+// SELECT whose every function reference is an aggregate, a builtin, or a
+// UDF registered as read-only. Anything else — DML, DDL, or a SELECT
+// invoking a UDF with possible side effects — requires the exclusive lock.
+func (db *DB) isReadOnly(stmt Statement) bool {
+	s, ok := stmt.(*SelectStmt)
+	if !ok {
+		return false
+	}
+	readOnly := true
+	walkSelectFuncs(s, func(name string) {
+		if readOnly && !db.funcIsReadOnly(name) {
+			readOnly = false
+		}
+	})
+	return readOnly
+}
+
+func (db *DB) funcIsReadOnly(name string) bool {
+	name = strings.ToLower(name)
+	if isAggregateName(name) {
+		return true
+	}
+	if _, ok := builtinScalars[name]; ok {
+		return true
+	}
+	if _, ok := builtinTableFunc(name); ok {
+		return true
+	}
+	return db.funcs.isReadOnly(name)
+}
+
+// walkSelectFuncs visits every function name referenced anywhere in a
+// SELECT, including subqueries in FROM.
+func walkSelectFuncs(s *SelectStmt, fn func(string)) {
+	for _, it := range s.Items {
+		walkExprFuncs(it.Expr, fn)
+	}
+	for _, f := range s.From {
+		if f.Func != nil {
+			walkExprFuncs(f.Func, fn)
+		}
+		if f.Sub != nil {
+			walkSelectFuncs(f.Sub, fn)
+		}
+		walkExprFuncs(f.On, fn)
+	}
+	walkExprFuncs(s.Where, fn)
+	for _, e := range s.GroupBy {
+		walkExprFuncs(e, fn)
+	}
+	walkExprFuncs(s.Having, fn)
+	for _, o := range s.OrderBy {
+		walkExprFuncs(o.Expr, fn)
+	}
+	walkExprFuncs(s.Limit, fn)
+	walkExprFuncs(s.Offset, fn)
+}
+
+func walkExprFuncs(e Expr, fn func(string)) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *FuncExpr:
+		fn(x.Name)
+		for _, a := range x.Args {
+			walkExprFuncs(a, fn)
+		}
+	case *BinaryExpr:
+		walkExprFuncs(x.L, fn)
+		walkExprFuncs(x.R, fn)
+	case *UnaryExpr:
+		walkExprFuncs(x.X, fn)
+	case *CastExpr:
+		walkExprFuncs(x.X, fn)
+	case *InExpr:
+		walkExprFuncs(x.X, fn)
+		for _, i := range x.List {
+			walkExprFuncs(i, fn)
+		}
+	case *IsNullExpr:
+		walkExprFuncs(x.X, fn)
+	case *LikeExpr:
+		walkExprFuncs(x.X, fn)
+		walkExprFuncs(x.Pattern, fn)
+	case *BetweenExpr:
+		walkExprFuncs(x.X, fn)
+		walkExprFuncs(x.Lo, fn)
+		walkExprFuncs(x.Hi, fn)
+	case *CaseExpr:
+		walkExprFuncs(x.Operand, fn)
+		for _, w := range x.Whens {
+			walkExprFuncs(w.When, fn)
+			walkExprFuncs(w.Then, fn)
+		}
+		walkExprFuncs(x.Else, fn)
+	}
 }
 
 // Exec runs a statement for its side effects and returns the number of rows
@@ -169,6 +293,21 @@ func (db *DB) execLocked(stmt Statement, params []variant.Value) (*ResultSet, er
 		return db.execCreate(s)
 	case *DropTableStmt:
 		return db.execDrop(s)
+	case *CreateIndexStmt:
+		if err := db.tables.createIndex(IndexInfo{
+			Name:   s.Name,
+			Table:  s.Table,
+			Column: s.Column,
+			Kind:   s.Using,
+		}, s.IfNotExists); err != nil {
+			return nil, err
+		}
+		return &ResultSet{}, nil
+	case *DropIndexStmt:
+		if err := db.tables.dropIndex(s.Name, s.IfExists); err != nil {
+			return nil, err
+		}
+		return &ResultSet{}, nil
 	case *InsertStmt:
 		return db.execInsert(cx, s)
 	case *UpdateStmt:
@@ -242,7 +381,7 @@ func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
 			row[idx] = v
 		}
 		t.Rows = append(t.Rows, row)
-		return nil
+		return t.insertIntoIndexes(len(t.Rows)-1, row)
 	}
 
 	count := 0
@@ -321,6 +460,9 @@ func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
 			newRow[setIdx[i]] = cv
 		}
 		t.Rows[ri] = newRow
+		if err := t.updateIndexes(ri, row, newRow); err != nil {
+			return nil, err
+		}
 		count++
 	}
 	out := &ResultSet{Columns: []Column{{Name: "updated", Type: "integer"}}}
@@ -355,6 +497,12 @@ func (db *DB) execDelete(cx *evalCtx, s *DeleteStmt) (*ResultSet, error) {
 		}
 	}
 	t.Rows = kept
+	if deleted > 0 {
+		// Deletion compacts row positions, so indexes rebuild from scratch.
+		if err := t.rebuildIndexes(); err != nil {
+			return nil, err
+		}
+	}
 	out := &ResultSet{Columns: []Column{{Name: "deleted", Type: "integer"}}}
 	for i := 0; i < deleted; i++ {
 		out.Rows = append(out.Rows, Row{variant.NewInt(1)})
@@ -387,5 +535,30 @@ func (db *DB) InsertRow(table string, values ...any) error {
 		row[i] = cv
 	}
 	t.Rows = append(t.Rows, row)
-	return nil
+	return t.insertIntoIndexes(len(t.Rows)-1, row)
+}
+
+// CreateIndex creates a secondary index on table(column) through the typed
+// API; kind is IndexHash, IndexOrdered, or "" for the default (ordered).
+func (db *DB) CreateIndex(name, table, column, kind string) error {
+	if kind == "" {
+		kind = IndexOrdered
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tables.createIndex(IndexInfo{Name: name, Table: table, Column: column, Kind: kind}, false)
+}
+
+// DropIndex removes a secondary index by name.
+func (db *DB) DropIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tables.dropIndex(name, false)
+}
+
+// Indexes lists every secondary index, ordered by (table, name).
+func (db *DB) Indexes() []IndexInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables.indexInfos()
 }

@@ -9,15 +9,20 @@ import (
 	"repro/internal/variant"
 )
 
-// Dump writes the database as a SQL script (CREATE TABLE + INSERT
-// statements) that Restore re-executes — the durability mechanism standing
-// in for PostgreSQL's persistent storage. Tables are emitted in name order;
-// values are rendered as re-parseable literals.
+// Dump writes the database as a SQL script (CREATE TABLE + INSERT + CREATE
+// INDEX statements) that Restore re-executes — the durability mechanism
+// standing in for PostgreSQL's persistent storage. Tables are emitted in
+// name order; values are rendered as re-parseable literals; each table's
+// secondary indexes follow its rows so Restore rebuilds them in one pass.
 func (db *DB) Dump(w io.Writer) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := db.tables.names()
 	sort.Strings(names)
+	indexesByTable := make(map[string][]IndexInfo)
+	for _, info := range db.tables.indexInfos() {
+		indexesByTable[info.Table] = append(indexesByTable[info.Table], info)
+	}
 	for _, name := range names {
 		t, ok := db.tables.get(name)
 		if !ok {
@@ -42,6 +47,12 @@ func (db *DB) Dump(w io.Writer) error {
 				}
 			}
 			if _, err := fmt.Fprintf(w, "INSERT INTO %q VALUES (%s);\n", t.Name, strings.Join(vals, ", ")); err != nil {
+				return err
+			}
+		}
+		for _, info := range indexesByTable[t.Name] {
+			if _, err := fmt.Fprintf(w, "CREATE INDEX %q ON %q (%q) USING %s;\n",
+				info.Name, info.Table, info.Column, info.Kind); err != nil {
 				return err
 			}
 		}

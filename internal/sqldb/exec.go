@@ -11,10 +11,20 @@ import (
 // execSelect runs a SELECT under an optional outer scope (for LATERAL
 // subqueries / nested UDF-issued queries).
 func execSelect(cx *evalCtx, s *SelectStmt, outer *scope) (*ResultSet, error) {
-	// 1. FROM: build the joined row stream.
-	rows, sources, err := execFrom(cx, s.From, outer)
-	if err != nil {
-		return nil, err
+	// 1. FROM: build the joined row stream. A single-table SELECT whose
+	// WHERE clause carries an indexable predicate resolves its candidate
+	// rows through a secondary index instead of a full scan; the WHERE
+	// step below still verifies every candidate, so the index only prunes.
+	var rows []Row
+	var sources []sourceInfo
+	var err error
+	if cand, info, ok := tryIndexScan(cx, s); ok {
+		rows, sources = cand, []sourceInfo{info}
+	} else {
+		rows, sources, err = execFrom(cx, s.From, outer)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// 2. WHERE.

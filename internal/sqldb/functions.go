@@ -20,29 +20,43 @@ type ScalarFunc func(db *DB, args []variant.Value) (variant.Value, error)
 type TableFunc func(db *DB, args []variant.Value) (*ResultSet, error)
 
 // registry holds scalar and table functions, case-insensitively keyed.
+// readOnly records which UDFs declared themselves free of side effects —
+// the statement classifier uses it to decide shared vs exclusive locking.
 type registry struct {
-	mu      sync.RWMutex
-	scalars map[string]ScalarFunc
-	tables  map[string]TableFunc
+	mu       sync.RWMutex
+	scalars  map[string]ScalarFunc
+	tables   map[string]TableFunc
+	readOnly map[string]bool
 }
 
 func newRegistry() *registry {
 	return &registry{
-		scalars: make(map[string]ScalarFunc),
-		tables:  make(map[string]TableFunc),
+		scalars:  make(map[string]ScalarFunc),
+		tables:   make(map[string]TableFunc),
+		readOnly: make(map[string]bool),
 	}
 }
 
-func (r *registry) registerScalar(name string, fn ScalarFunc) {
+func (r *registry) registerScalar(name string, fn ScalarFunc, ro bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.scalars[strings.ToLower(name)] = fn
+	key := strings.ToLower(name)
+	r.scalars[key] = fn
+	r.readOnly[key] = ro
 }
 
-func (r *registry) registerTable(name string, fn TableFunc) {
+func (r *registry) registerTable(name string, fn TableFunc, ro bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.tables[strings.ToLower(name)] = fn
+	key := strings.ToLower(name)
+	r.tables[key] = fn
+	r.readOnly[key] = ro
+}
+
+func (r *registry) isReadOnly(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.readOnly[strings.ToLower(name)]
 }
 
 func (r *registry) scalar(name string) (ScalarFunc, bool) {

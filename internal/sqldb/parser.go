@@ -124,8 +124,14 @@ func (p *sqlParser) parseStatement() (Statement, error) {
 	case "select":
 		return p.parseSelect()
 	case "create":
+		if n := p.toks[p.pos+1]; n.kind == tKeyword && n.text == "index" {
+			return p.parseCreateIndex()
+		}
 		return p.parseCreateTable()
 	case "drop":
+		if n := p.toks[p.pos+1]; n.kind == tKeyword && n.text == "index" {
+			return p.parseDropIndex()
+		}
 		return p.parseDropTable()
 	case "insert":
 		return p.parseInsert()
@@ -529,6 +535,89 @@ func (p *sqlParser) parseCreateTable() (*CreateTableStmt, error) {
 	if err := p.expectSymbol(")"); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+func (p *sqlParser) parseCreateIndex() (*CreateIndexStmt, error) {
+	if err := p.expectKeyword("create"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("index"); err != nil {
+		return nil, err
+	}
+	s := &CreateIndexStmt{Using: IndexOrdered}
+	if p.atKeyword("if") {
+		p.next()
+		if err := p.expectKeyword("not"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("exists"); err != nil {
+			return nil, err
+		}
+		s.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Name = name
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = table
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Column = col
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("using") {
+		t := p.cur()
+		method, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(method) {
+		case IndexHash:
+			s.Using = IndexHash
+		case IndexOrdered:
+			s.Using = IndexOrdered
+		default:
+			return nil, parseErr(t.pos, "unsupported index access method %q (want hash or btree)", method)
+		}
+	}
+	return s, nil
+}
+
+func (p *sqlParser) parseDropIndex() (*DropIndexStmt, error) {
+	if err := p.expectKeyword("drop"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("index"); err != nil {
+		return nil, err
+	}
+	s := &DropIndexStmt{}
+	if p.atKeyword("if") {
+		p.next()
+		if err := p.expectKeyword("exists"); err != nil {
+			return nil, err
+		}
+		s.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Name = name
 	return s, nil
 }
 

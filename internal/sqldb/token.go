@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 type tokKind int
@@ -40,6 +41,7 @@ var sqlKeywords = map[string]bool{
 	"when": true, "then": true, "else": true, "end": true, "cast": true,
 	"distinct": true, "begin": true, "commit": true, "rollback": true,
 	"prepare": true, "execute": true, "default": true,
+	"index": true, "using": true,
 }
 
 type sqlToken struct {
@@ -74,7 +76,14 @@ func lexSQL(src string) ([]sqlToken, error) {
 	var toks []sqlToken
 	rs := []rune(src)
 	i := 0
-	bytePos := func(runeIdx int) int { return len(string(rs[:runeIdx])) }
+	// Prefix byte offsets per rune index, computed once: recomputing
+	// len(string(rs[:i])) per token is O(n) each and makes lexing large
+	// scripts (multi-thousand-statement dumps) quadratic.
+	offs := make([]int, len(rs)+1)
+	for j, r := range rs {
+		offs[j+1] = offs[j] + utf8.RuneLen(r)
+	}
+	bytePos := func(runeIdx int) int { return offs[runeIdx] }
 	for i < len(rs) {
 		r := rs[i]
 		switch {

@@ -60,6 +60,49 @@ func TestSaveAndOpenFileRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveRestoresIndexes(t *testing.T) {
+	db := openFast(t)
+	loadHP1(t, db, "measurements", 1)
+	if err := db.CreateIndex("m_time", "measurements", "time", IndexOrdered); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("m_x", "measurements", "x", IndexHash); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "env.sql")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found int
+	for _, info := range restored.Indexes() {
+		switch info.Name {
+		case "m_time":
+			if info.Table != "measurements" || info.Column != "time" || info.Kind != IndexOrdered {
+				t.Errorf("m_time = %+v", info)
+			}
+			found++
+		case "m_x":
+			if info.Kind != IndexHash {
+				t.Errorf("m_x = %+v", info)
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("restored indexes = %+v", restored.Indexes())
+	}
+	// The restored index serves range queries.
+	rs, err := restored.Query(`SELECT count(*) FROM measurements WHERE time BETWEEN 1 AND 5`)
+	if err != nil || rs.Rows[0][0].Int() == 0 {
+		t.Fatalf("indexed range after restore = %v, %v", rs, err)
+	}
+}
+
 func TestOpenFileErrors(t *testing.T) {
 	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing.sql")); err == nil {
 		t.Error("missing file should fail")

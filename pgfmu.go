@@ -17,6 +17,24 @@
 // Every UDF is also reachable through typed Go methods (CreateModel,
 // Calibrate, Simulate, ...). The MADlib-equivalent ML UDFs (arima_train,
 // logregr_train, ...) are installed alongside.
+//
+// # Query performance
+//
+// Two engine features back the paper's in-DBMS performance claims:
+//
+//   - Plan cache: parsed statements are cached by SQL text (the paper's
+//     "prepared SQL queries avoid repeated reevaluation"). It is on by
+//     default and toggled with db.SQL().EnablePlanCache.
+//   - Secondary indexes: CREATE INDEX name ON table (col) [USING hash|btree]
+//     builds a hash (equality) or ordered (equality + range) index, and
+//     WHERE predicates of the form col = $1, col BETWEEN lo AND hi, and
+//     col </<=/>/>= bound resolve through it instead of scanning. Indexes
+//     are maintained across INSERT/UPDATE/DELETE, survive Save/OpenFile,
+//     and are also reachable as typed helpers (CreateIndex, DropIndex).
+//
+// The engine runs statements under a reader/writer lock: read-only SELECTs
+// execute concurrently, so multi-instance fan-out workloads (paper Fig. 7)
+// scale with available cores.
 package pgfmu
 
 import (
@@ -91,6 +109,32 @@ func (db *DB) Query(sql string, args ...any) (*Rows, error) {
 
 // SQL exposes the underlying engine (UDF registration, direct access).
 func (db *DB) SQL() *sqldb.DB { return db.session.DB() }
+
+// Index access methods for CreateIndex.
+const (
+	IndexHash    = sqldb.IndexHash
+	IndexOrdered = sqldb.IndexOrdered
+)
+
+// IndexInfo describes one secondary index.
+type IndexInfo = sqldb.IndexInfo
+
+// CreateIndex builds a secondary index on table(column). kind is IndexHash
+// (equality lookups), IndexOrdered (equality + range), or "" for the
+// default (ordered). Equivalent to CREATE INDEX name ON table (column).
+func (db *DB) CreateIndex(name, table, column, kind string) error {
+	return db.session.DB().CreateIndex(name, table, column, kind)
+}
+
+// DropIndex removes a secondary index by name.
+func (db *DB) DropIndex(name string) error {
+	return db.session.DB().DropIndex(name)
+}
+
+// Indexes lists the database's secondary indexes, ordered by (table, name).
+func (db *DB) Indexes() []IndexInfo {
+	return db.session.DB().Indexes()
+}
 
 // Session exposes the pgFMU core for advanced use.
 func (db *DB) Session() *core.Session { return db.session }
