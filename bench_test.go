@@ -222,7 +222,7 @@ func BenchmarkAblationFMUReuse(b *testing.B) {
 // BenchmarkAblationPreparedQueries compares repeated query execution with
 // the plan cache on (pgFMU's prepared statements) and off.
 func BenchmarkAblationPreparedQueries(b *testing.B) {
-	db, err := Open()
+	db, err := Open("")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func BenchmarkFMUSimulateDay(b *testing.B) {
 // BenchmarkSQLSelectWhere measures a filtered scan over the measurement
 // table.
 func BenchmarkSQLSelectWhere(b *testing.B) {
-	db, err := Open()
+	db, err := Open("")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func BenchmarkSQLSelectWhere(b *testing.B) {
 func BenchmarkSQLIndexedLookup(b *testing.B) {
 	setup := func(b *testing.B) *DB {
 		b.Helper()
-		db, err := Open()
+		db, err := Open("")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -410,7 +410,7 @@ func BenchmarkSQLIndexedLookup(b *testing.B) {
 // throughput over an indexed table — the query-serving side of the paper's
 // Fig. 7 multi-instance fan-out.
 func BenchmarkSQLConcurrentSelect(b *testing.B) {
-	db, err := Open()
+	db, err := Open("")
 	if err != nil {
 		b.Fatal(err)
 	}

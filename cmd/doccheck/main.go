@@ -1,0 +1,79 @@
+// Command doccheck validates the repo's markdown documentation: every
+// relative link target in the given files (and every .md file in given
+// directories) must exist on disk. External http(s) links are skipped —
+// CI stays hermetic. Exit status 1 reports broken links.
+//
+// Usage: go run ./cmd/doccheck README.md docs
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links are not used in this repo.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"README.md", "docs"}
+	}
+	var files []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+		if info.IsDir() {
+			matches, err := filepath.Glob(filepath.Join(a, "*.md"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+				os.Exit(1)
+			}
+			files = append(files, matches...)
+		} else {
+			files = append(files, a)
+		}
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: no markdown files found")
+		os.Exit(1)
+	}
+
+	broken := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			// Strip an in-page fragment; a bare fragment links inside this file.
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s: broken link %q (%s)\n", file, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Printf("doccheck: %d broken link(s) in %d file(s)\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d file(s) OK\n", len(files))
+}

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	db, err := pgfmu.Open()
+	db, err := pgfmu.Open("")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pgfmu: %v\n", err)
 		os.Exit(1)

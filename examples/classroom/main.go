@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	db, err := pgfmu.Open(pgfmu.WithEstimatorOptions(pgfmu.EstimatorOptions{
+	db, err := pgfmu.Open("", pgfmu.WithEstimatorOptions(pgfmu.EstimatorOptions{
 		GA: pgfmu.GAOptions{Population: 16, Generations: 10, Seed: 2},
 	}))
 	if err != nil {

@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	db, err := pgfmu.Open(pgfmu.WithEstimatorOptions(pgfmu.EstimatorOptions{
+	db, err := pgfmu.Open("", pgfmu.WithEstimatorOptions(pgfmu.EstimatorOptions{
 		GA: pgfmu.GAOptions{Population: 16, Generations: 10, Seed: 6},
 	}))
 	if err != nil {

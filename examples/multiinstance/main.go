@@ -18,7 +18,7 @@ import (
 const fleet = 6
 
 func run(mi bool) (time.Duration, int, error) {
-	db, err := pgfmu.Open(
+	db, err := pgfmu.Open("",
 		pgfmu.WithMIOptimization(mi),
 		pgfmu.WithEstimatorOptions(pgfmu.EstimatorOptions{
 			GA: pgfmu.GAOptions{Population: 16, Generations: 10, Seed: 4},

@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	db, err := pgfmu.Open()
+	db, err := pgfmu.Open("")
 	if err != nil {
 		log.Fatal(err)
 	}

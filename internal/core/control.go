@@ -35,9 +35,16 @@ type ControlRequest struct {
 // row per segment: (time, control, value) plus the predicted target
 // trajectory rows (time, 'predicted:<target>', value).
 func (s *Session) Control(req ControlRequest) (*sqldb.ResultSet, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.controlLocked(req)
+	// InputSQL is caller-supplied and may contain DML, so — like the SQL
+	// path, where fmu_control is registered side-effecting — this runs
+	// exclusive, not shared.
+	var rs *sqldb.ResultSet
+	err := s.runWrite(func() error {
+		var cerr error
+		rs, cerr = s.controlLocked(req)
+		return cerr
+	})
+	return rs, err
 }
 
 func (s *Session) controlLocked(req ControlRequest) (*sqldb.ResultSet, error) {

@@ -782,3 +782,68 @@ func writeFile(path, content string) error {
 func osWriteFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+// TestRecoveryTxnRollbackRestoresSessionState verifies that ROLLBACK undoes
+// not just the catalogue rows but the session's in-memory FMU state (live
+// instances, loaded units, variable values) — the two must never diverge.
+func TestRecoveryTxnRollbackRestoresSessionState(t *testing.T) {
+	s := newTestSession(t)
+	db := s.DB()
+
+	// Rolled-back fmu_create leaves no live instance behind...
+	if _, err := db.Query(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT fmu_create($1, 'i1')`, hpSource); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`ROLLBACK`); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := db.Query(`SELECT count(*) FROM modelinstance`)
+	if err != nil || rs.Rows[0][0].Int() != 0 {
+		t.Fatalf("catalogue after rollback = %v, %v", rs, err)
+	}
+	// ...so re-creating the same id must succeed (maps rolled back too).
+	if _, err := db.Query(`SELECT fmu_create($1, 'i1')`, hpSource); err != nil {
+		t.Fatalf("recreate after rolled-back create: %v", err)
+	}
+
+	// Rolled-back value change restores the live value.
+	before, _, _, err := s.Get("i1", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT fmu_set_initial('i1', 'A', -1.5)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`ROLLBACK`); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _, err := s.Get("i1", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := before.AsFloat()
+	a, _ := after.AsFloat()
+	if a != b {
+		t.Fatalf("live value after rolled-back set_initial = %v, want %v", a, b)
+	}
+
+	// Rolled-back delete keeps the instance alive and simulable.
+	if _, err := db.Query(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT fmu_delete_instance('i1')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`ROLLBACK`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.instance("i1"); err != nil {
+		t.Fatalf("instance gone after rolled-back delete: %v", err)
+	}
+}

@@ -29,9 +29,13 @@ type ParestResult struct {
 // model parameters. It updates each instance (and ModelInstanceValues) with
 // the fitted values and returns per-instance estimation errors.
 func (s *Session) Parest(instanceIDs, inputSQLs, pars []string) ([]ParestResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.parestLocked(instanceIDs, inputSQLs, pars)
+	var results []ParestResult
+	err := s.runWrite(func() error {
+		var perr error
+		results, perr = s.parestLocked(instanceIDs, inputSQLs, pars)
+		return perr
+	})
+	return results, err
 }
 
 func (s *Session) parestLocked(instanceIDs, inputSQLs, pars []string) ([]ParestResult, error) {
@@ -82,7 +86,12 @@ func (s *Session) parestLocked(instanceIDs, inputSQLs, pars []string) ([]ParestR
 	for i, r := range results {
 		id := instanceIDs[i]
 		// Algorithm 2 line 8: write fitted values back to the instance and
-		// the catalogue.
+		// the catalogue. A rollback must also restore the live instance's
+		// pre-fit values, which the SQL undo journal cannot see.
+		if prev, ok := s.instances[id]; ok {
+			snapshot := prev.Clone(id)
+			s.onRollback(func() { s.instances[id] = snapshot })
+		}
 		if err := estimate.Apply(jobs[i].Problem, r); err != nil {
 			return nil, err
 		}
@@ -188,9 +197,16 @@ func columnNames(in *inputData) []string {
 // ValidateInstance computes the RMSE of an instance's current parameters
 // against a hold-out query — the workflow's model-validation step.
 func (s *Session) ValidateInstance(instanceID, inputSQL string, pars []string) (float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.validateLocked(instanceID, inputSQL, pars)
+	// inputSQL is caller-supplied and may contain DML, so — like the SQL
+	// path, where fmu_validate is registered side-effecting — this runs
+	// exclusive, not shared.
+	var rmse float64
+	err := s.runWrite(func() error {
+		var verr error
+		rmse, verr = s.validateLocked(instanceID, inputSQL, pars)
+		return verr
+	})
+	return rmse, err
 }
 
 func (s *Session) validateLocked(instanceID, inputSQL string, pars []string) (float64, error) {

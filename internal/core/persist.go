@@ -6,7 +6,13 @@ import (
 	"io"
 
 	"repro/internal/fmu"
+	"repro/internal/sqldb"
 )
+
+// defaultAutoCheckpointEvery bounds WAL growth (and so recovery time) on
+// durable sessions: after this many logged records, the next commit folds
+// the WAL into a fresh snapshot.
+const defaultAutoCheckpointEvery = 4096
 
 // The fmustorage table persists the .fmu archives themselves (base64 text),
 // making the catalogue self-contained: a dumped database carries everything
@@ -57,6 +63,44 @@ func RestoreSession(dump io.Reader, opts ...Option) (*Session, error) {
 	}
 	return s, nil
 }
+
+// OpenDurable opens (or creates) a crash-safe session rooted at dir. The
+// directory holds a snapshot (the Dump format) plus a write-ahead log; on
+// open, the snapshot is restored, committed WAL transactions are replayed
+// on top (truncating any torn tail a crash left behind), and the FMU
+// catalogue is rehydrated — so models, calibrated instances, and user
+// tables all survive a process kill. Durability knobs: WithWALSyncEvery
+// (group commit) and WithAutoCheckpointEvery.
+func OpenDurable(dir string, opts ...Option) (*Session, error) {
+	s, err := NewSession(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.db.EnableDurability(dir, sqldb.DurabilityOptions{
+		SyncEvery:       s.walSyncEvery,
+		CheckpointEvery: s.autoCheckpointEvery,
+	}); err != nil {
+		return nil, fmt.Errorf("core: opening durable session: %w", err)
+	}
+	if err := s.rehydrate(); err != nil {
+		// Release the WAL descriptor and the directory's single-opener
+		// lock, or a retry in this process would see the directory as
+		// still held.
+		s.db.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Checkpoint folds the session's WAL into a fresh snapshot — a manual
+// durability point that bounds the next open's recovery work. It errors on
+// in-memory sessions.
+func (s *Session) Checkpoint() error { return s.db.Checkpoint() }
+
+// Close flushes and detaches a durable session's WAL; in-memory sessions
+// close trivially. The catalogue stays usable, but further writes are no
+// longer logged.
+func (s *Session) Close() error { return s.db.Close() }
 
 // rehydrate loads units and instances from the catalogue tables.
 func (s *Session) rehydrate() error {

@@ -45,6 +45,12 @@ type Session struct {
 	threshold float64
 	// estOpts configures the underlying estimator.
 	estOpts estimate.Options
+	// walSyncEvery is the group-commit knob for durable sessions (fsync
+	// once per N commits; 1 = every commit).
+	walSyncEvery int
+	// autoCheckpointEvery triggers a snapshot checkpoint after N WAL
+	// records on durable sessions (0 = manual only).
+	autoCheckpointEvery int
 }
 
 // Option configures a Session.
@@ -66,6 +72,19 @@ func WithEstimateOptions(o estimate.Options) Option {
 	return func(s *Session) { s.estOpts = o }
 }
 
+// WithWALSyncEvery sets the group-commit knob for durable sessions: the WAL
+// is fsynced once every n commits (default 1 = every commit; larger values
+// trade the durability of the last n-1 commits for INSERT throughput).
+func WithWALSyncEvery(n int) Option {
+	return func(s *Session) { s.walSyncEvery = n }
+}
+
+// WithAutoCheckpointEvery makes durable sessions write a snapshot checkpoint
+// after every n WAL records (0 disables automatic checkpoints).
+func WithAutoCheckpointEvery(n int) Option {
+	return func(s *Session) { s.autoCheckpointEvery = n }
+}
+
 // NewSession creates a database, installs the model catalogue and all pgFMU
 // UDFs, and returns the session. MI optimization defaults to on (pgFMU+)
 // with the paper's 20% threshold.
@@ -80,6 +99,8 @@ func NewSession(opts ...Option) (*Session, error) {
 		estOpts: estimate.Options{
 			GA: estimate.GAOptions{Population: 24, Generations: 16, Seed: 1},
 		},
+		walSyncEvery:        1,
+		autoCheckpointEvery: defaultAutoCheckpointEvery,
 	}
 	for _, o := range opts {
 		o(s)
@@ -96,6 +117,46 @@ func NewSession(opts ...Option) (*Session, error) {
 
 // DB exposes the underlying database for direct SQL.
 func (s *Session) DB() *sqldb.DB { return s.db }
+
+// runWrite executes a catalogue-mutating operation from the typed Go API:
+// it takes the database's exclusive lock and an implicit transaction (so
+// the operation's nested statements commit atomically and hit the WAL on
+// durable sessions), then the session lock. SQL-invoked UDFs must NOT use
+// this — the executing statement already holds both — and instead call the
+// *Locked variants under s.mu alone.
+func (s *Session) runWrite(fn func() error) error {
+	return s.db.RunExclusive(func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return fn()
+	})
+}
+
+// runRead executes a read-only typed-API operation under the database's
+// shared lock (so its nested queries never race a writer), then the
+// session lock. Same caveat as runWrite: SQL-invoked UDFs call the
+// *Locked variants directly instead.
+func (s *Session) runRead(fn func() error) error {
+	return s.db.RunShared(func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return fn()
+	})
+}
+
+// onRollback registers a compensator that re-synchronizes the session's
+// in-memory FMU state (units, instances, live values) with the catalogue
+// if the enclosing transaction rolls back — SQL's undo journal cannot see
+// these maps. The closure retakes s.mu itself: rollback runs under the
+// exclusive database lock after every caller-held session lock is
+// released.
+func (s *Session) onRollback(fn func()) {
+	s.db.OnRollback(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		fn()
+	})
+}
 
 // installCatalog creates the Figure-4 model catalogue tables.
 func (s *Session) installCatalog() error {
@@ -144,9 +205,13 @@ func (s *Session) Create(modelRef, instanceID string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.createLocked(unit, instanceID)
+	var id string
+	err = s.runWrite(func() error {
+		var cerr error
+		id, cerr = s.createLocked(unit, instanceID)
+		return cerr
+	})
+	return id, err
 }
 
 func (s *Session) createLocked(unit *fmu.Unit, instanceID string) (string, error) {
@@ -166,6 +231,7 @@ func (s *Session) createLocked(unit *fmu.Unit, instanceID string) (string, error
 		unit = stored
 	} else {
 		s.units[modelID] = unit
+		s.onRollback(func() { delete(s.units, modelID) })
 		data, err := unit.Bytes()
 		if err != nil {
 			return "", err
@@ -193,6 +259,10 @@ func (s *Session) createLocked(unit *fmu.Unit, instanceID string) (string, error
 	inst := unit.Instantiate(instanceID)
 	s.instances[instanceID] = inst
 	s.instanceModel[instanceID] = modelID
+	s.onRollback(func() {
+		delete(s.instances, instanceID)
+		delete(s.instanceModel, instanceID)
+	})
 	if _, err := s.db.QueryNested(`INSERT INTO modelinstance VALUES ($1, $2)`, instanceID, modelID); err != nil {
 		return "", err
 	}
@@ -268,8 +338,16 @@ func (s *Session) instanceLocked(instanceID string) (*fmu.Instance, string, erro
 // Copy implements fmu_copy: duplicate an instance (values included) under a
 // new identifier, reusing the stored FMU.
 func (s *Session) Copy(instanceID, newInstanceID string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	var id string
+	err := s.runWrite(func() error {
+		var cerr error
+		id, cerr = s.copyLocked(instanceID, newInstanceID)
+		return cerr
+	})
+	return id, err
+}
+
+func (s *Session) copyLocked(instanceID, newInstanceID string) (string, error) {
 	inst, modelID, err := s.instanceLocked(instanceID)
 	if err != nil {
 		return "", err
@@ -284,6 +362,11 @@ func (s *Session) Copy(instanceID, newInstanceID string) (string, error) {
 	clone := inst.Clone(newInstanceID)
 	s.instances[newInstanceID] = clone
 	s.instanceModel[newInstanceID] = modelID
+	newID := newInstanceID
+	s.onRollback(func() {
+		delete(s.instances, newID)
+		delete(s.instanceModel, newID)
+	})
 	if _, err := s.db.QueryNested(`INSERT INTO modelinstance VALUES ($1, $2)`, newInstanceID, modelID); err != nil {
 		return "", err
 	}
@@ -306,9 +389,9 @@ func (s *Session) Copy(instanceID, newInstanceID string) (string, error) {
 // setValue updates one variable on an instance and mirrors it to the
 // catalogue; which of initial/min/max is written depends on attr.
 func (s *Session) setValue(instanceID, varName, attr string, value float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.setValueLocked(instanceID, varName, attr, value)
+	return s.runWrite(func() error {
+		return s.setValueLocked(instanceID, varName, attr, value)
+	})
 }
 
 func (s *Session) setValueLocked(instanceID, varName, attr string, value float64) error {
@@ -318,6 +401,16 @@ func (s *Session) setValueLocked(instanceID, varName, attr string, value float64
 	}
 	switch attr {
 	case "initial":
+		if old, gerr := inst.GetReal(varName); gerr == nil {
+			// Resolve through the map at undo time: a later-registered
+			// rollback step (reset/parest) may have swapped the live object
+			// for a snapshot clone, and the restore must hit that one.
+			s.onRollback(func() {
+				if cur, ok := s.instances[instanceID]; ok {
+					cur.SetReal(varName, old)
+				}
+			})
+		}
 		if err := inst.SetReal(varName, value); err != nil {
 			return err
 		}
@@ -365,9 +458,12 @@ func (s *Session) SetMaximum(instanceID, varName string, value float64) error {
 // Get implements fmu_get: the current value plus catalogue min/max for one
 // variable.
 func (s *Session) Get(instanceID, varName string) (initial, minV, maxV variant.Value, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.getLocked(instanceID, varName)
+	err = s.runRead(func() error {
+		var gerr error
+		initial, minV, maxV, gerr = s.getLocked(instanceID, varName)
+		return gerr
+	})
+	return initial, minV, maxV, err
 }
 
 func (s *Session) getLocked(instanceID, varName string) (initial, minV, maxV variant.Value, err error) {
@@ -397,12 +493,16 @@ func (s *Session) getLocked(instanceID, varName string) (initial, minV, maxV var
 // Reset implements fmu_reset: restore the instance to model defaults and
 // refresh the catalogue values.
 func (s *Session) Reset(instanceID string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.runWrite(func() error { return s.resetLocked(instanceID) })
+}
+
+func (s *Session) resetLocked(instanceID string) error {
 	inst, modelID, err := s.instanceLocked(instanceID)
 	if err != nil {
 		return err
 	}
+	prev := inst.Clone(instanceID)
+	s.onRollback(func() { s.instances[instanceID] = prev })
 	inst.Reset()
 	unit := s.units[modelID]
 	for _, sv := range unit.Description.ModelVariables.Variables {
@@ -423,11 +523,19 @@ func (s *Session) Reset(instanceID string) error {
 
 // DeleteInstance implements fmu_delete_instance.
 func (s *Session) DeleteInstance(instanceID string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.instances[instanceID]; !ok {
+	return s.runWrite(func() error { return s.deleteInstanceLocked(instanceID) })
+}
+
+func (s *Session) deleteInstanceLocked(instanceID string) error {
+	inst, ok := s.instances[instanceID]
+	if !ok {
 		return fmt.Errorf("core: unknown model instance %q", instanceID)
 	}
+	modelID := s.instanceModel[instanceID]
+	s.onRollback(func() {
+		s.instances[instanceID] = inst
+		s.instanceModel[instanceID] = modelID
+	})
 	delete(s.instances, instanceID)
 	delete(s.instanceModel, instanceID)
 	if _, err := s.db.QueryNested(`DELETE FROM modelinstance WHERE instanceid = $1`, instanceID); err != nil {
@@ -440,18 +548,30 @@ func (s *Session) DeleteInstance(instanceID string) error {
 // DeleteModel implements fmu_delete_model: remove the FMU and cascade to all
 // its instances.
 func (s *Session) DeleteModel(modelID string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.units[modelID]; !ok {
+	return s.runWrite(func() error { return s.deleteModelLocked(modelID) })
+}
+
+func (s *Session) deleteModelLocked(modelID string) error {
+	unit, ok := s.units[modelID]
+	if !ok {
 		return fmt.Errorf("core: unknown model %q", modelID)
 	}
+	removed := make(map[string]*fmu.Instance)
 	delete(s.units, modelID)
 	for id, mid := range s.instanceModel {
 		if mid == modelID {
+			removed[id] = s.instances[id]
 			delete(s.instances, id)
 			delete(s.instanceModel, id)
 		}
 	}
+	s.onRollback(func() {
+		s.units[modelID] = unit
+		for id, inst := range removed {
+			s.instances[id] = inst
+			s.instanceModel[id] = modelID
+		}
+	})
 	for _, q := range []string{
 		`DELETE FROM model WHERE modelid = $1`,
 		`DELETE FROM modelvariable WHERE modelid = $1`,
@@ -486,9 +606,13 @@ func (s *Session) InstanceIDs() []string {
 // Variables implements fmu_variables: the catalogue view of all variables of
 // an instance with current initial values.
 func (s *Session) Variables(instanceID string) (*sqldb.ResultSet, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.variablesLocked(instanceID)
+	var rs *sqldb.ResultSet
+	err := s.runRead(func() error {
+		var verr error
+		rs, verr = s.variablesLocked(instanceID)
+		return verr
+	})
+	return rs, err
 }
 
 func (s *Session) variablesLocked(instanceID string) (*sqldb.ResultSet, error) {

@@ -32,9 +32,15 @@ type SimulateRequest struct {
 // paper's Table 4 shape: (simulationTime, instanceId, varName, value) with
 // one row per variable per communication point.
 func (s *Session) Simulate(req SimulateRequest) (*sqldb.ResultSet, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.simulateLocked(req)
+	// Simulation also refreshes catalogued state values, so it runs as a
+	// write.
+	var rs *sqldb.ResultSet
+	err := s.runWrite(func() error {
+		var serr error
+		rs, serr = s.simulateLocked(req)
+		return serr
+	})
+	return rs, err
 }
 
 func (s *Session) simulateLocked(req SimulateRequest) (*sqldb.ResultSet, error) {

@@ -52,7 +52,9 @@ func (s *Session) registerUDFs() {
 		if len(args) == 2 {
 			newID = args[1].AsText()
 		}
-		id, err := s.Copy(args[0].AsText(), newID)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		id, err := s.copyLocked(args[0].AsText(), newID)
 		if err != nil {
 			return variant.Value{}, err
 		}
@@ -116,7 +118,9 @@ func (s *Session) registerUDFs() {
 		if len(args) != 1 {
 			return variant.Value{}, fmt.Errorf("fmu_reset(instanceId) expects 1 argument")
 		}
-		if err := s.Reset(args[0].AsText()); err != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.resetLocked(args[0].AsText()); err != nil {
 			return variant.Value{}, err
 		}
 		return args[0], nil
@@ -127,7 +131,9 @@ func (s *Session) registerUDFs() {
 		if len(args) != 1 {
 			return variant.Value{}, fmt.Errorf("fmu_delete_instance(instanceId) expects 1 argument")
 		}
-		if err := s.DeleteInstance(args[0].AsText()); err != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.deleteInstanceLocked(args[0].AsText()); err != nil {
 			return variant.Value{}, err
 		}
 		return variant.NewBool(true), nil
@@ -138,7 +144,9 @@ func (s *Session) registerUDFs() {
 		if len(args) != 1 {
 			return variant.Value{}, fmt.Errorf("fmu_delete_model(modelId) expects 1 argument")
 		}
-		if err := s.DeleteModel(args[0].AsText()); err != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.deleteModelLocked(args[0].AsText()); err != nil {
 			return variant.Value{}, err
 		}
 		return variant.NewBool(true), nil

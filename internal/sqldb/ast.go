@@ -226,6 +226,18 @@ type DeleteStmt struct {
 	Where Expr
 }
 
+// --- Transaction control ---
+
+// BeginStmt is BEGIN [WORK | TRANSACTION]: open an explicit transaction.
+type BeginStmt struct{}
+
+// CommitStmt is COMMIT [WORK | TRANSACTION]: make the open transaction's
+// changes permanent (and, on a durable database, fsync them to the WAL).
+type CommitStmt struct{}
+
+// RollbackStmt is ROLLBACK [WORK | TRANSACTION]: undo the open transaction.
+type RollbackStmt struct{}
+
 func (*CreateTableStmt) stmt() {}
 func (*DropTableStmt) stmt()   {}
 func (*CreateIndexStmt) stmt() {}
@@ -233,3 +245,6 @@ func (*DropIndexStmt) stmt()   {}
 func (*InsertStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}

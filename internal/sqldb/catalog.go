@@ -129,63 +129,80 @@ func (c *catalog) get(name string) (*Table, bool) {
 	return t, ok
 }
 
-func (c *catalog) create(t *Table, ifNotExists bool) error {
+// create registers a table; created reports whether it was actually added
+// (false for an IF NOT EXISTS no-op), so callers journal the right undo.
+func (c *catalog) create(t *Table, ifNotExists bool) (created bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(t.Name)
 	if _, exists := c.tables[key]; exists {
 		if ifNotExists {
-			return nil
+			return false, nil
 		}
-		return fmt.Errorf("sql: table %q already exists", t.Name)
+		return false, fmt.Errorf("sql: table %q already exists", t.Name)
 	}
 	c.tables[key] = t
-	return nil
+	return true, nil
 }
 
-func (c *catalog) drop(name string, ifExists bool) error {
+// drop removes a table, returning it (with rows and indexes intact) so a
+// transaction rollback can restore it; nil for an IF EXISTS no-op.
+func (c *catalog) drop(name string, ifExists bool) (*Table, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(name)
 	t, exists := c.tables[key]
 	if !exists {
 		if ifExists {
-			return nil
+			return nil, nil
 		}
-		return fmt.Errorf("sql: table %q does not exist", name)
+		return nil, fmt.Errorf("sql: table %q does not exist", name)
 	}
 	// Dropping a table drops its indexes, freeing their names.
 	for _, ix := range t.indexes {
 		delete(c.indexes, ix.name)
 	}
 	delete(c.tables, key)
-	return nil
+	return t, nil
 }
 
-// createIndex validates, builds, and attaches a secondary index.
-func (c *catalog) createIndex(info IndexInfo, ifNotExists bool) error {
+// restoreTable undoes a drop: the table re-enters the catalogue and its
+// index names are re-registered.
+func (c *catalog) restoreTable(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[t.Name] = t
+	for _, ix := range t.indexes {
+		c.indexes[ix.name] = t.Name
+	}
+}
+
+// createIndex validates, builds, and attaches a secondary index. created
+// reports whether the index was actually added (false for an IF NOT EXISTS
+// no-op).
+func (c *catalog) createIndex(info IndexInfo, ifNotExists bool) (created bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	name := strings.ToLower(info.Name)
 	if _, exists := c.indexes[name]; exists {
 		if ifNotExists {
-			return nil
+			return false, nil
 		}
-		return fmt.Errorf("sql: index %q already exists", info.Name)
+		return false, fmt.Errorf("sql: index %q already exists", info.Name)
 	}
 	t, ok := c.tables[strings.ToLower(info.Table)]
 	if !ok {
-		return fmt.Errorf("sql: table %q does not exist", info.Table)
+		return false, fmt.Errorf("sql: table %q does not exist", info.Table)
 	}
 	col := t.columnIndex(info.Column)
 	if col < 0 {
-		return fmt.Errorf("sql: table %q has no column %q", info.Table, info.Column)
+		return false, fmt.Errorf("sql: table %q has no column %q", info.Table, info.Column)
 	}
 	if t.Columns[col].Type == "variant" {
-		return fmt.Errorf("sql: cannot index variant column %q", info.Column)
+		return false, fmt.Errorf("sql: cannot index variant column %q", info.Column)
 	}
 	if info.Kind != IndexHash && info.Kind != IndexOrdered {
-		return fmt.Errorf("sql: unsupported index access method %q (want hash or btree)", info.Kind)
+		return false, fmt.Errorf("sql: unsupported index access method %q (want hash or btree)", info.Kind)
 	}
 	ix := &index{
 		name:   name,
@@ -195,35 +212,48 @@ func (c *catalog) createIndex(info IndexInfo, ifNotExists bool) error {
 		col:    col,
 	}
 	if err := ix.build(t.Rows); err != nil {
-		return err
+		return false, err
 	}
 	t.indexes = append(t.indexes, ix)
 	c.indexes[name] = t.Name
-	return nil
+	return true, nil
 }
 
-// dropIndex removes an index by name.
-func (c *catalog) dropIndex(name string, ifExists bool) error {
+// dropIndex removes an index by name, returning its table and the detached
+// index so a rollback can re-attach them; both nil for an IF EXISTS no-op.
+func (c *catalog) dropIndex(name string, ifExists bool) (*Table, *index, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(name)
 	tableName, exists := c.indexes[key]
 	if !exists {
 		if ifExists {
-			return nil
+			return nil, nil, nil
 		}
-		return fmt.Errorf("sql: index %q does not exist", name)
+		return nil, nil, fmt.Errorf("sql: index %q does not exist", name)
 	}
+	var table *Table
+	var removed *index
 	if t, ok := c.tables[tableName]; ok {
 		for i, ix := range t.indexes {
 			if ix.name == key {
+				table, removed = t, ix
 				t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
 				break
 			}
 		}
 	}
 	delete(c.indexes, key)
-	return nil
+	return table, removed, nil
+}
+
+// attachIndex undoes a dropIndex: the detached index rejoins its table and
+// the name registry. The caller rebuilds it against the table's rows.
+func (c *catalog) attachIndex(t *Table, ix *index) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.indexes = append(t.indexes, ix)
+	c.indexes[ix.name] = t.Name
 }
 
 // indexInfos lists every index, ordered by (table, name) for deterministic

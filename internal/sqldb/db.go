@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -26,6 +27,14 @@ type DB struct {
 	planCache   map[string]Statement
 	cachePlans  bool
 	planCacheMu sync.Mutex
+
+	// txn is the open transaction: the explicit one between BEGIN and
+	// COMMIT/ROLLBACK, or the implicit single-statement transaction wrapped
+	// around each write. Mutated only under the exclusive lock (see txn.go).
+	txn *txnState
+	// wal is the attached write-ahead log; nil for an in-memory database
+	// (see wal.go / EnableDurability).
+	wal *wal
 }
 
 // New creates an empty database with the plan cache enabled.
@@ -120,11 +129,137 @@ func (db *DB) Query(sql string, args ...any) (*ResultSet, error) {
 	if db.isReadOnly(stmt) {
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-	} else {
-		db.mu.Lock()
-		defer db.mu.Unlock()
+		return db.execLocked(stmt, params, false)
 	}
-	return db.execLocked(stmt, params)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execTop(sql, stmt, params)
+}
+
+// execTop runs one top-level statement under the exclusive lock: it handles
+// transaction control, wraps standalone writes in an implicit transaction,
+// and commits to the WAL.
+func (db *DB) execTop(text string, stmt Statement, params []variant.Value) (*ResultSet, error) {
+	switch stmt.(type) {
+	case *BeginStmt:
+		if db.txn != nil && db.txn.explicit {
+			return nil, fmt.Errorf("sql: a transaction is already in progress")
+		}
+		db.txn = newTxn(true)
+		return &ResultSet{}, nil
+	case *CommitStmt:
+		if db.txn == nil || !db.txn.explicit {
+			return nil, fmt.Errorf("sql: COMMIT without a transaction in progress")
+		}
+		t := db.txn
+		db.txn = nil
+		if err := db.walCommit(t); err != nil {
+			// The log could not be made durable; roll the memory state back
+			// so it never diverges from what recovery would rebuild.
+			if uerr := t.unwind(db, 0, 0); uerr != nil {
+				return nil, errors.Join(err, uerr)
+			}
+			return nil, err
+		}
+		db.maybeAutoCheckpointLocked()
+		return &ResultSet{}, nil
+	case *RollbackStmt:
+		if db.txn == nil || !db.txn.explicit {
+			return nil, fmt.Errorf("sql: ROLLBACK without a transaction in progress")
+		}
+		t := db.txn
+		db.txn = nil
+		if err := t.unwind(db, 0, 0); err != nil {
+			return nil, err
+		}
+		return &ResultSet{}, nil
+	}
+
+	var rs *ResultSet
+	err := db.runInTxn(func() error {
+		var serr error
+		rs, serr = db.execStatement(text, stmt, params)
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// runInTxn runs fn as one atomic unit of the open transaction — or of an
+// implicit single-shot transaction when none is open. On error, every
+// mutation fn journalled is unwound; on success of an implicit transaction,
+// its WAL records are committed (unwinding again if the log cannot be made
+// durable) and an automatic checkpoint runs when due. This is the single
+// commit/rollback protocol shared by SQL statements (execTop), the typed
+// mutating APIs (RunExclusive), and the bulk-load path (InsertRow).
+func (db *DB) runInTxn(fn func() error) error {
+	if t := db.txn; t != nil {
+		undoMark, pendMark := len(t.undo), len(t.pending)
+		err := fn()
+		if err != nil && (len(t.undo) > undoMark || len(t.pending) > pendMark) {
+			if uerr := t.unwind(db, undoMark, pendMark); uerr != nil {
+				return errors.Join(err, uerr)
+			}
+		}
+		return err
+	}
+	t := newTxn(false)
+	db.txn = t
+	err := fn()
+	db.txn = nil
+	if err != nil {
+		if uerr := t.unwind(db, 0, 0); uerr != nil {
+			return errors.Join(err, uerr)
+		}
+		return err
+	}
+	if werr := db.walCommit(t); werr != nil {
+		if uerr := t.unwind(db, 0, 0); uerr != nil {
+			return errors.Join(werr, uerr)
+		}
+		return werr
+	}
+	db.maybeAutoCheckpointLocked()
+	return nil
+}
+
+// execStatement runs one statement with statement-level atomicity inside
+// the open transaction (undo on error) and captures its WAL records: the
+// statement text when every referenced function is a builtin, otherwise the
+// physical row changes (see txn.go).
+func (db *DB) execStatement(text string, stmt Statement, params []variant.Value) (*ResultSet, error) {
+	if isTxnControlStmt(stmt) {
+		return nil, fmt.Errorf("sql: transaction control is only valid as a top-level statement")
+	}
+	t := db.txn
+	if t == nil {
+		// Read path (shared lock) or recovery replay: nothing to journal.
+		return db.execLocked(stmt, params, false)
+	}
+	undoMark, pendMark := len(t.undo), len(t.pending)
+	logStmt, logPhys := false, false
+	if isMutatingStmt(stmt) && db.wal != nil {
+		if stmtUsesOnlyBuiltins(stmt) {
+			logStmt = true
+		} else {
+			logPhys = true
+		}
+	}
+	rs, err := db.execLocked(stmt, params, logPhys)
+	if err != nil {
+		if len(t.undo) > undoMark || len(t.pending) > pendMark {
+			if uerr := t.unwind(db, undoMark, pendMark); uerr != nil {
+				return nil, errors.Join(err, uerr)
+			}
+		}
+		return nil, err
+	}
+	if logStmt {
+		t.pending = append(t.pending, stmtWALRecord(text, params))
+	}
+	return rs, nil
 }
 
 // isReadOnly reports whether a statement can run under the shared lock: a
@@ -238,6 +373,8 @@ func (db *DB) Exec(sql string, args ...any) (int, error) {
 
 // QueryNested runs a query from inside a UDF that is already executing under
 // the database lock. pgFMU's fmu_parest uses this to evaluate input_sql.
+// Mutations performed here join the enclosing statement's transaction: they
+// are journalled for rollback and captured in its WAL commit.
 func (db *DB) QueryNested(sql string, args ...any) (*ResultSet, error) {
 	stmt, err := db.parse(sql)
 	if err != nil {
@@ -247,21 +384,55 @@ func (db *DB) QueryNested(sql string, args ...any) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.execLocked(stmt, params)
+	return db.execStatement(sql, stmt, params)
 }
 
+// RunExclusive runs fn under the exclusive database lock as one atomic
+// transactional unit: every QueryNested mutation fn performs is journalled
+// and committed (WAL-logged on durable databases) when fn returns nil, and
+// rolled back when it returns an error — joining the explicit transaction
+// if one is open, else in an implicit one. It is the entry point for typed
+// Go APIs that mutate the database outside a SQL statement — the moral
+// equivalent of a side-effecting UDF call. fn must use QueryNested, never
+// Query/Exec (which would self-deadlock).
+func (db *DB) RunExclusive(fn func() error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.runInTxn(fn)
+}
+
+// RunShared runs fn under the shared database lock, for typed Go APIs
+// whose nested queries only read: fn's QueryNested calls may run
+// concurrently with other readers but never against an in-flight writer.
+func (db *DB) RunShared(fn func() error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return fn()
+}
+
+// OnRollback registers a compensating closure with the open transaction,
+// run (in reverse registration order) if and only if the enclosing work is
+// rolled back — by ROLLBACK, by a failed statement's unwind, or by a WAL
+// commit failure. Side-effecting UDFs and RunExclusive bodies use it to
+// keep state the SQL journal cannot see (e.g. the pgFMU session's live
+// instances) consistent with the journalled tables. The closure runs under
+// the exclusive database lock but outside any caller-held locks, so it may
+// take its own. No-op when no transaction is open (e.g. recovery replay).
+func (db *DB) OnRollback(fn func()) { db.recordUndo(fn) }
+
 // ExecScript runs a semicolon-separated statement sequence, returning the
-// result of the last statement.
+// result of the last statement. BEGIN/COMMIT/ROLLBACK inside the script
+// group statements into transactions exactly as they do through Query.
 func (db *DB) ExecScript(sql string) (*ResultSet, error) {
-	stmts, err := ParseScript(sql)
+	stmts, texts, err := parseScriptWithText(sql)
 	if err != nil {
 		return nil, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	var last *ResultSet
-	for _, stmt := range stmts {
-		last, err = db.execLocked(stmt, nil)
+	for i, stmt := range stmts {
+		last, err = db.execTop(texts[i], stmt, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -284,8 +455,11 @@ func bindArgs(args []any) ([]variant.Value, error) {
 	return params, nil
 }
 
-func (db *DB) execLocked(stmt Statement, params []variant.Value) (*ResultSet, error) {
-	cx := &evalCtx{db: db, params: params}
+// execLocked dispatches one parsed statement. physLog asks DML executors to
+// emit physical WAL records for each row change (used when the statement
+// text itself cannot be replayed because it references UDFs).
+func (db *DB) execLocked(stmt Statement, params []variant.Value, physLog bool) (*ResultSet, error) {
+	cx := &evalCtx{db: db, params: params, physLog: physLog}
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		return execSelect(cx, s, nil)
@@ -294,18 +468,30 @@ func (db *DB) execLocked(stmt Statement, params []variant.Value) (*ResultSet, er
 	case *DropTableStmt:
 		return db.execDrop(s)
 	case *CreateIndexStmt:
-		if err := db.tables.createIndex(IndexInfo{
+		created, err := db.tables.createIndex(IndexInfo{
 			Name:   s.Name,
 			Table:  s.Table,
 			Column: s.Column,
 			Kind:   s.Using,
-		}, s.IfNotExists); err != nil {
+		}, s.IfNotExists)
+		if err != nil {
 			return nil, err
+		}
+		if created {
+			name := s.Name
+			db.recordUndo(func() { db.tables.dropIndex(name, true) })
 		}
 		return &ResultSet{}, nil
 	case *DropIndexStmt:
-		if err := db.tables.dropIndex(s.Name, s.IfExists); err != nil {
+		t, ix, err := db.tables.dropIndex(s.Name, s.IfExists)
+		if err != nil {
 			return nil, err
+		}
+		if ix != nil {
+			db.recordUndo(func() { db.tables.attachIndex(t, ix) })
+			// Re-attachment restores the index as of the drop; a rollback
+			// rebuild brings it back in line with the restored rows.
+			db.touch(t)
 		}
 		return &ResultSet{}, nil
 	case *InsertStmt:
@@ -331,15 +517,23 @@ func (db *DB) execCreate(s *CreateTableStmt) (*ResultSet, error) {
 		cols[i] = Column{Name: c.Name, Type: c.Type}
 	}
 	t := &Table{Name: strings.ToLower(s.Name), Columns: cols}
-	if err := db.tables.create(t, s.IfNotExists); err != nil {
+	created, err := db.tables.create(t, s.IfNotExists)
+	if err != nil {
 		return nil, err
+	}
+	if created {
+		db.recordUndo(func() { db.tables.drop(t.Name, true) })
 	}
 	return &ResultSet{}, nil
 }
 
 func (db *DB) execDrop(s *DropTableStmt) (*ResultSet, error) {
-	if err := db.tables.drop(s.Name, s.IfExists); err != nil {
+	dropped, err := db.tables.drop(s.Name, s.IfExists)
+	if err != nil {
 		return nil, err
+	}
+	if dropped != nil {
+		db.recordUndo(func() { db.tables.restoreTable(dropped) })
 	}
 	return &ResultSet{}, nil
 }
@@ -365,6 +559,10 @@ func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
 		}
 	}
 
+	oldLen := len(t.Rows)
+	db.recordUndo(func() { t.Rows = t.Rows[:oldLen] })
+	db.touch(t)
+
 	appendRow := func(vals []variant.Value) error {
 		if len(vals) != len(targets) {
 			return fmt.Errorf("sql: INSERT has %d values for %d columns", len(vals), len(targets))
@@ -381,7 +579,13 @@ func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
 			row[idx] = v
 		}
 		t.Rows = append(t.Rows, row)
-		return t.insertIntoIndexes(len(t.Rows)-1, row)
+		if err := t.insertIntoIndexes(len(t.Rows)-1, row); err != nil {
+			return err
+		}
+		if cx.physLog {
+			db.logWAL(walRecord{Op: "ins", Table: t.Name, Row: encodeWALValues(row)})
+		}
+		return nil
 	}
 
 	count := 0
@@ -434,6 +638,7 @@ func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
 		setIdx[i] = idx
 	}
 	src := sourceInfo{alias: strings.ToLower(s.Table), columns: t.Columns, width: len(t.Columns)}
+	db.touch(t)
 	count := 0
 	for ri, row := range t.Rows {
 		sc := bindScope([]sourceInfo{src}, row, nil)
@@ -459,9 +664,14 @@ func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
 			}
 			newRow[setIdx[i]] = cv
 		}
+		oldRow, pos := row, ri
+		db.recordUndo(func() { t.Rows[pos] = oldRow })
 		t.Rows[ri] = newRow
 		if err := t.updateIndexes(ri, row, newRow); err != nil {
 			return nil, err
+		}
+		if cx.physLog {
+			db.logWAL(walRecord{Op: "upd", Table: t.Name, Pos: ri, Row: encodeWALValues(newRow)})
 		}
 		count++
 	}
@@ -479,8 +689,9 @@ func (db *DB) execDelete(cx *evalCtx, s *DeleteStmt) (*ResultSet, error) {
 	}
 	src := sourceInfo{alias: strings.ToLower(s.Table), columns: t.Columns, width: len(t.Columns)}
 	var kept []Row
+	var removed []int
 	deleted := 0
-	for _, row := range t.Rows {
+	for ri, row := range t.Rows {
 		remove := true
 		if s.Where != nil {
 			sc := bindScope([]sourceInfo{src}, row, nil)
@@ -492,15 +703,24 @@ func (db *DB) execDelete(cx *evalCtx, s *DeleteStmt) (*ResultSet, error) {
 		}
 		if remove {
 			deleted++
+			if cx.physLog {
+				removed = append(removed, ri)
+			}
 		} else {
 			kept = append(kept, row)
 		}
 	}
+	oldRows := t.Rows
+	db.recordUndo(func() { t.Rows = oldRows })
+	db.touch(t)
 	t.Rows = kept
 	if deleted > 0 {
 		// Deletion compacts row positions, so indexes rebuild from scratch.
 		if err := t.rebuildIndexes(); err != nil {
 			return nil, err
+		}
+		if cx.physLog {
+			db.logWAL(walRecord{Op: "del", Table: t.Name, Del: removed})
 		}
 	}
 	out := &ResultSet{Columns: []Column{{Name: "deleted", Type: "integer"}}}
@@ -511,7 +731,9 @@ func (db *DB) execDelete(cx *evalCtx, s *DeleteStmt) (*ResultSet, error) {
 }
 
 // InsertRow appends a row of Go values to a table directly (bulk-load path
-// used by dataset loaders; bypasses SQL parsing).
+// used by dataset loaders; bypasses SQL parsing). Like any write it joins
+// the open transaction — or forms an implicit one — and is WAL-logged as a
+// physical row record on a durable database.
 func (db *DB) InsertRow(table string, values ...any) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -534,26 +756,46 @@ func (db *DB) InsertRow(table string, values ...any) error {
 		}
 		row[i] = cv
 	}
-	t.Rows = append(t.Rows, row)
-	return t.insertIntoIndexes(len(t.Rows)-1, row)
+
+	return db.runInTxn(func() error {
+		oldLen := len(t.Rows)
+		db.recordUndo(func() { t.Rows = t.Rows[:oldLen] })
+		db.touch(t)
+		t.Rows = append(t.Rows, row)
+		if err := t.insertIntoIndexes(len(t.Rows)-1, row); err != nil {
+			return err
+		}
+		db.logWAL(walRecord{Op: "ins", Table: t.Name, Row: encodeWALValues(row)})
+		return nil
+	})
+}
+
+// quoteIdent renders an identifier as a SQL quoted identifier, doubling
+// embedded quotes (the lexer's escape; Go's %q escaping is not SQL).
+func quoteIdent(name string) string {
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
 }
 
 // CreateIndex creates a secondary index on table(column) through the typed
 // API; kind is IndexHash, IndexOrdered, or "" for the default (ordered).
+// It routes through the SQL path so the DDL is transactional and WAL-logged
+// exactly like CREATE INDEX.
 func (db *DB) CreateIndex(name, table, column, kind string) error {
 	if kind == "" {
 		kind = IndexOrdered
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.tables.createIndex(IndexInfo{Name: name, Table: table, Column: column, Kind: kind}, false)
+	if kind != IndexHash && kind != IndexOrdered {
+		return fmt.Errorf("sql: unsupported index access method %q (want hash or btree)", kind)
+	}
+	_, err := db.Query(fmt.Sprintf("CREATE INDEX %s ON %s (%s) USING %s",
+		quoteIdent(name), quoteIdent(table), quoteIdent(column), kind))
+	return err
 }
 
 // DropIndex removes a secondary index by name.
 func (db *DB) DropIndex(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.tables.dropIndex(name, false)
+	_, err := db.Query("DROP INDEX " + quoteIdent(name))
+	return err
 }
 
 // Indexes lists every secondary index, ordered by (table, name).

@@ -17,6 +17,13 @@ import (
 func (db *DB) Dump(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.dumpLocked(w)
+}
+
+// dumpLocked writes the dump while the caller holds either lock mode; the
+// checkpoint path calls it under the exclusive lock (where taking the read
+// lock again would self-deadlock).
+func (db *DB) dumpLocked(w io.Writer) error {
 	names := db.tables.names()
 	sort.Strings(names)
 	indexesByTable := make(map[string][]IndexInfo)
@@ -30,9 +37,9 @@ func (db *DB) Dump(w io.Writer) error {
 		}
 		cols := make([]string, len(t.Columns))
 		for i, c := range t.Columns {
-			cols[i] = fmt.Sprintf("%q %s", c.Name, c.Type)
+			cols[i] = fmt.Sprintf("%s %s", quoteIdent(c.Name), c.Type)
 		}
-		if _, err := fmt.Fprintf(w, "CREATE TABLE %q (%s);\n", t.Name, strings.Join(cols, ", ")); err != nil {
+		if _, err := fmt.Fprintf(w, "CREATE TABLE %s (%s);\n", quoteIdent(t.Name), strings.Join(cols, ", ")); err != nil {
 			return err
 		}
 		for _, row := range t.Rows {
@@ -46,13 +53,13 @@ func (db *DB) Dump(w io.Writer) error {
 					vals[i] += "::timestamp"
 				}
 			}
-			if _, err := fmt.Fprintf(w, "INSERT INTO %q VALUES (%s);\n", t.Name, strings.Join(vals, ", ")); err != nil {
+			if _, err := fmt.Fprintf(w, "INSERT INTO %s VALUES (%s);\n", quoteIdent(t.Name), strings.Join(vals, ", ")); err != nil {
 				return err
 			}
 		}
 		for _, info := range indexesByTable[t.Name] {
-			if _, err := fmt.Fprintf(w, "CREATE INDEX %q ON %q (%q) USING %s;\n",
-				info.Name, info.Table, info.Column, info.Kind); err != nil {
+			if _, err := fmt.Fprintf(w, "CREATE INDEX %s ON %s (%s) USING %s;\n",
+				quoteIdent(info.Name), quoteIdent(info.Table), quoteIdent(info.Column), info.Kind); err != nil {
 				return err
 			}
 		}

@@ -69,10 +69,13 @@ type evalCtx struct {
 	db     *DB
 	params []variant.Value
 	scope  *scope
+	// physLog asks DML executors to emit physical WAL records per row
+	// change (set when the statement text is not replayable; see txn.go).
+	physLog bool
 }
 
 func (cx *evalCtx) withScope(s *scope) *evalCtx {
-	return &evalCtx{db: cx.db, params: cx.params, scope: s}
+	return &evalCtx{db: cx.db, params: cx.params, scope: s, physLog: cx.physLog}
 }
 
 // evalExpr evaluates a non-aggregate expression.

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package sqldb
+
+import (
+	"fmt"
+	"os"
+)
+
+// lockDir on platforms without flock(2) only marks the directory; the
+// single-live-opener rule is documented but not kernel-enforced.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+string(os.PathSeparator)+"lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sql: opening database lock file: %w", err)
+	}
+	return f, nil
+}

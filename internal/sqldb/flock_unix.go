@@ -1,0 +1,26 @@
+//go:build unix
+
+package sqldb
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an advisory exclusive lock on dir/lock, guaranteeing a
+// single live opener per database directory: two handles appending to one
+// WAL would interleave frames and corrupt committed transactions. The
+// kernel releases the lock when the file descriptor closes — including on
+// a process kill, which is exactly when the next opener must get in.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+string(os.PathSeparator)+"lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sql: opening database lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sql: database directory %s is locked by another live opener", dir)
+	}
+	return f, nil
+}

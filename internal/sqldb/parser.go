@@ -35,28 +35,39 @@ func Parse(src string) (Statement, error) {
 
 // ParseScript parses a semicolon-separated sequence of statements.
 func ParseScript(src string) ([]Statement, error) {
+	stmts, _, err := parseScriptWithText(src)
+	return stmts, err
+}
+
+// parseScriptWithText parses a script and also returns each statement's
+// source text (sliced between token positions), which the executor logs to
+// the write-ahead log.
+func parseScriptWithText(src string) ([]Statement, []string, error) {
 	toks, err := lexSQL(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p := &sqlParser{toks: toks}
 	var stmts []Statement
+	var texts []string
 	for p.cur().kind != tEOF {
 		if p.atSymbol(";") {
 			p.next()
 			continue
 		}
+		start := p.cur().pos
 		stmt, err := p.parseStatement()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		stmts = append(stmts, stmt)
+		texts = append(texts, strings.TrimSpace(src[start:p.cur().pos]))
 		if !p.atSymbol(";") && p.cur().kind != tEOF {
 			t := p.cur()
-			return nil, parseErr(t.pos, "expected ';' between statements, found %s", t)
+			return nil, nil, parseErr(t.pos, "expected ';' between statements, found %s", t)
 		}
 	}
-	return stmts, nil
+	return stmts, texts, nil
 }
 
 func (p *sqlParser) cur() sqlToken { return p.toks[p.pos] }
@@ -139,8 +150,28 @@ func (p *sqlParser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case "delete":
 		return p.parseDelete()
+	case "begin":
+		p.next()
+		p.acceptTxnNoiseWord()
+		return &BeginStmt{}, nil
+	case "commit":
+		p.next()
+		p.acceptTxnNoiseWord()
+		return &CommitStmt{}, nil
+	case "rollback":
+		p.next()
+		p.acceptTxnNoiseWord()
+		return &RollbackStmt{}, nil
 	default:
 		return nil, parseErr(t.pos, "unsupported statement %s", t)
+	}
+}
+
+// acceptTxnNoiseWord skips the optional WORK / TRANSACTION after
+// BEGIN/COMMIT/ROLLBACK (they lex as plain identifiers).
+func (p *sqlParser) acceptTxnNoiseWord() {
+	if t := p.cur(); t.kind == tIdent && (t.text == "work" || t.text == "transaction") {
+		p.next()
 	}
 }
 

@@ -1,0 +1,148 @@
+package sqldb
+
+import "strings"
+
+// Transaction support. Every write statement runs inside a transaction:
+// either the explicit one opened by BEGIN, or an implicit single-statement
+// transaction. While the transaction runs, each mutation pushes an undo
+// closure (the in-memory rollback journal) and, on a durable database, a
+// WAL record into the pending buffer. COMMIT (or the end of an implicit
+// transaction) writes the pending records plus a commit marker to the WAL
+// and discards the journal; ROLLBACK replays the journal in reverse and
+// rebuilds the indexes of every table the transaction touched.
+//
+// Transactions are database-wide (the engine has no per-connection
+// sessions): while an explicit transaction is open, every write statement —
+// from any goroutine — joins it, and concurrent shared-lock SELECTs observe
+// its uncommitted state (read-uncommitted isolation). All transaction state
+// is mutated only under the DB's exclusive lock.
+
+// txnState is one open transaction: the undo journal, the set of tables
+// whose indexes must be rebuilt on rollback, and the WAL records to write
+// at commit.
+type txnState struct {
+	explicit bool
+	undo     []func()
+	touched  map[*Table]struct{}
+	pending  []walRecord
+}
+
+func newTxn(explicit bool) *txnState { return &txnState{explicit: explicit} }
+
+// recordUndo registers a rollback closure for the open transaction, if any.
+func (db *DB) recordUndo(fn func()) {
+	if db.txn != nil {
+		db.txn.undo = append(db.txn.undo, fn)
+	}
+}
+
+// touch marks a table as mutated so rollback rebuilds its indexes.
+func (db *DB) touch(t *Table) {
+	if db.txn == nil {
+		return
+	}
+	if db.txn.touched == nil {
+		db.txn.touched = make(map[*Table]struct{})
+	}
+	db.txn.touched[t] = struct{}{}
+}
+
+// logWAL buffers a WAL record for the open transaction of a durable
+// database; it is a no-op in memory-only mode.
+func (db *DB) logWAL(rec walRecord) {
+	if db.wal != nil && db.txn != nil {
+		db.txn.pending = append(db.txn.pending, rec)
+	}
+}
+
+// unwind rolls the transaction back to a prior point: undo closures past
+// undoMark run in reverse, pending WAL records past pendMark are discarded,
+// and the indexes of every touched table are rebuilt from the restored rows
+// (undo restores row storage only; rebuilding is simpler and safer than
+// reversing each index mutation). unwind(db, 0, 0) is full rollback;
+// execStatement uses non-zero marks for statement-level atomicity.
+func (t *txnState) unwind(db *DB, undoMark, pendMark int) error {
+	for i := len(t.undo) - 1; i >= undoMark; i-- {
+		t.undo[i]()
+	}
+	t.undo = t.undo[:undoMark]
+	t.pending = t.pending[:pendMark]
+	var firstErr error
+	for tb := range t.touched {
+		if err := tb.rebuildIndexes(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// isMutatingStmt reports whether a statement can change the database (DML
+// or DDL). SELECT is excluded: its side effects, if any, come from UDFs
+// whose nested statements are captured individually.
+func isMutatingStmt(s Statement) bool {
+	switch s.(type) {
+	case *InsertStmt, *UpdateStmt, *DeleteStmt,
+		*CreateTableStmt, *DropTableStmt, *CreateIndexStmt, *DropIndexStmt:
+		return true
+	}
+	return false
+}
+
+func isTxnControlStmt(s Statement) bool {
+	switch s.(type) {
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return true
+	}
+	return false
+}
+
+// walkStmtFuncs visits every function name referenced by a statement.
+func walkStmtFuncs(stmt Statement, fn func(string)) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		walkSelectFuncs(s, fn)
+	case *InsertStmt:
+		for _, r := range s.Rows {
+			for _, e := range r {
+				walkExprFuncs(e, fn)
+			}
+		}
+		if s.Query != nil {
+			walkSelectFuncs(s.Query, fn)
+		}
+	case *UpdateStmt:
+		for _, sc := range s.Set {
+			walkExprFuncs(sc.Value, fn)
+		}
+		walkExprFuncs(s.Where, fn)
+	case *DeleteStmt:
+		walkExprFuncs(s.Where, fn)
+	}
+}
+
+// stmtUsesOnlyBuiltins reports whether every function a statement references
+// is an aggregate or engine builtin. Only such statements are WAL-logged as
+// logical SQL text: UDFs may be volatile (fmu_create loads files, trainers
+// run stochastic searches) and are not yet registered — let alone rehydrated
+// — when the log replays on open, so statements referencing them are logged
+// as physical row records instead.
+func stmtUsesOnlyBuiltins(stmt Statement) bool {
+	ok := true
+	walkStmtFuncs(stmt, func(name string) {
+		name = strings.ToLower(name)
+		if !ok {
+			return
+		}
+		if isAggregateName(name) {
+			return
+		}
+		if _, b := builtinScalars[name]; b {
+			return
+		}
+		if _, b := builtinTableFunc(name); b {
+			return
+		}
+		ok = false
+	})
+	return ok
+}

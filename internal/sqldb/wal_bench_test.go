@@ -1,0 +1,38 @@
+package sqldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkWALAppend measures durable INSERT throughput under the
+// group-commit knob: SyncEvery=1 fsyncs at every commit (full durability),
+// larger windows amortize the fsync over N commits. The memory row is the
+// no-WAL baseline.
+func BenchmarkWALAppend(b *testing.B) {
+	bench := func(b *testing.B, db *DB) {
+		b.Helper()
+		if _, err := db.Query(`CREATE TABLE m (id integer, val float)`); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(`INSERT INTO m VALUES ($1, $2)`, i, float64(i)*0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("memory", func(b *testing.B) {
+		bench(b, New())
+	})
+	for _, every := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sync_every_%d", every), func(b *testing.B) {
+			db := New()
+			if err := db.EnableDurability(b.TempDir(), DurabilityOptions{SyncEvery: every}); err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			bench(b, db)
+		})
+	}
+}

@@ -156,6 +156,116 @@ func TestSaveDumpIsDeterministicSQL(t *testing.T) {
 	}
 }
 
+// openDurableFast opens a crash-safe database on dir with fast estimator
+// settings.
+func openDurableFast(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := Open(dir, WithEstimatorOptions(EstimatorOptions{
+		GA: GAOptions{Population: 14, Generations: 8, Seed: 5},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRecoveryOpenPathSurvivesKill(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDurableFast(t, dir)
+	loadHP1(t, db, "measurements", 1)
+	if _, err := db.CreateModel(dataset.HP1Source, "hp"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := db.Calibrate([]string{"hp"},
+		[]string{"SELECT time, x, u FROM measurements"}, []string{"Cp", "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fittedCp := results[0].Params["Cp"]
+	if err := db.CreateIndex("m_time", "measurements", "time", IndexOrdered); err != nil {
+		t.Fatal(err)
+	}
+	// An uncommitted transaction must die with the process.
+	if _, err := db.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO measurements (time) VALUES (1e6)`); err != nil {
+		t.Fatal(err)
+	}
+	before, err := db.Query(`SELECT count(*) FROM measurements WHERE time < 1e6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := before.Rows[0][0].Int()
+	// Kill: drop the descriptors without Close or Checkpoint.
+	db.SQL().SimulateCrash()
+
+	re := openDurableFast(t, dir)
+	rs, err := re.Query(`SELECT count(*) FROM measurements`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Rows[0][0].Int(); got != want {
+		t.Fatalf("recovered measurements = %d, want %d (uncommitted row dropped)", got, want)
+	}
+	// The calibrated instance — the expensive artifact — survives the kill.
+	initial, _, _, err := re.Get("hp", "Cp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp, _ := initial.AsFloat(); math.Abs(cp-fittedCp) > 1e-9 {
+		t.Errorf("recovered Cp = %v, want %v", cp, fittedCp)
+	}
+	// Index state recovered, and the session is fully operational.
+	var found bool
+	for _, info := range re.Indexes() {
+		if info.Name == "m_time" && info.Kind == IndexOrdered {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recovered indexes = %+v", re.Indexes())
+	}
+	rs, err = re.Query(`SELECT count(*) FROM fmu_simulate('hp', 'SELECT * FROM measurements')`)
+	if err != nil || rs.Rows[0][0].Int() == 0 {
+		t.Fatalf("simulate after recovery = %v, %v", rs, err)
+	}
+}
+
+func TestRecoveryOpenPathCheckpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDurableFast(t, dir)
+	if _, err := db.Exec(`CREATE TABLE t (a integer)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (2)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDurableFast(t, dir)
+	rs, err := re.Query(`SELECT count(*) FROM t`)
+	if err != nil || rs.Rows[0][0].Int() != 2 {
+		t.Fatalf("rows after checkpoint+close+reopen = %v, %v", rs, err)
+	}
+	// In-memory databases reject checkpoints but close cleanly.
+	mem := openFast(t)
+	if err := mem.Checkpoint(); err == nil {
+		t.Error("Checkpoint on in-memory DB should fail")
+	}
+	if err := mem.Close(); err != nil {
+		t.Errorf("Close on in-memory DB: %v", err)
+	}
+}
+
 func writeTestFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }

@@ -5,7 +5,7 @@
 //
 // Open a database, load measurements, and drive everything with SQL:
 //
-//	db, _ := pgfmu.Open()
+//	db, _ := pgfmu.Open("")
 //	db.Exec(`CREATE TABLE measurements (time float, x float, u float)`)
 //	// ... INSERT measurements ...
 //	db.Query(`SELECT fmu_create('/tmp/hp1.fmu', 'HP1Instance1')`)
@@ -35,6 +35,16 @@
 // The engine runs statements under a reader/writer lock: read-only SELECTs
 // execute concurrently, so multi-instance fan-out workloads (paper Fig. 7)
 // scale with available cores.
+//
+// # Durability
+//
+// Open("") is a volatile in-memory database (the zero-config default).
+// Open(dir) is crash-safe: every committed write is recorded in a
+// write-ahead log under dir, periodically folded into a snapshot, and
+// recovered on the next Open(dir) — including after a process kill. SQL
+// transactions (BEGIN/COMMIT/ROLLBACK) group statements atomically, and
+// Checkpoint/Close expose the durability points. See docs/architecture.md
+// for the full model.
 package pgfmu
 
 import (
@@ -84,16 +94,51 @@ type LocalOptions = estimate.LocalOptions
 // WithEstimatorOptions overrides the estimation configuration.
 func WithEstimatorOptions(o EstimatorOptions) Option { return core.WithEstimateOptions(o) }
 
+// WithWALSyncEvery is the group-commit knob for durable databases: fsync
+// the write-ahead log once every n commits (default 1 = every commit;
+// larger values trade the durability of the last n-1 commits for write
+// throughput).
+func WithWALSyncEvery(n int) Option { return core.WithWALSyncEvery(n) }
+
+// WithAutoCheckpointEvery makes a durable database fold its WAL into a
+// fresh snapshot after every n logged records (0 disables automatic
+// checkpoints; the default bounds recovery time).
+func WithAutoCheckpointEvery(n int) Option { return core.WithAutoCheckpointEvery(n) }
+
 // Open creates a pgFMU database with the model catalogue, the fmu_* UDF
 // suite, and the ML UDFs installed.
-func Open(opts ...Option) (*DB, error) {
-	session, err := core.NewSession(opts...)
+//
+// path selects the storage mode. "" (or ":memory:") is a volatile
+// in-memory database. Any other path names a directory holding a crash-safe
+// database: committed writes are WAL-logged and snapshot-checkpointed
+// there, and reopening the same path recovers everything a previous process
+// committed — models, calibrated instances, indexes, and user tables —
+// even after a kill, dropping uncommitted transactions and torn log tails.
+func Open(path string, opts ...Option) (*DB, error) {
+	var session *core.Session
+	var err error
+	if path == "" || path == ":memory:" {
+		session, err = core.NewSession(opts...)
+	} else {
+		session, err = core.OpenDurable(path, opts...)
+	}
 	if err != nil {
 		return nil, err
 	}
 	ml.RegisterUDFs(session.DB())
 	return &DB{session: session}, nil
 }
+
+// Checkpoint folds a durable database's WAL into a fresh snapshot — a
+// manual durability point that bounds the next Open's recovery work. It
+// errors on in-memory databases.
+func (db *DB) Checkpoint() error { return db.session.Checkpoint() }
+
+// Close flushes and detaches a durable database's write-ahead log (no-op
+// for in-memory databases). Abandoning a durable DB without Close is safe —
+// that is the crash the WAL exists for — but Close makes even
+// group-commit-deferred writes durable.
+func (db *DB) Close() error { return db.session.Close() }
 
 // Exec runs a statement for its side effects; the int is the affected row
 // count (SELECT row count for queries).

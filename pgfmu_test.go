@@ -14,7 +14,7 @@ func openFast(t *testing.T, opts ...Option) *DB {
 	opts = append([]Option{WithEstimatorOptions(EstimatorOptions{
 		GA: GAOptions{Population: 14, Generations: 8, Seed: 5},
 	})}, opts...)
-	db, err := Open(opts...)
+	db, err := Open("", opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestWithSimilarityThreshold(t *testing.T) {
 }
 
 func TestEstimatorOptionsAreUsed(t *testing.T) {
-	db, err := Open(WithEstimatorOptions(estimate.Options{
+	db, err := Open("", WithEstimatorOptions(estimate.Options{
 		GA: estimate.GAOptions{Population: 6, Generations: 2, Seed: 1},
 	}))
 	if err != nil {
