@@ -7,6 +7,7 @@ package pgfmu
 // paper-sized workloads through cmd/experiments -scale paper.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -168,20 +169,20 @@ func benchProblem(b *testing.B, delta float64) *estimate.Problem {
 // LO-from-warm-start — the MI optimization in isolation.
 func BenchmarkAblationWarmStart(b *testing.B) {
 	opts := estimate.Options{GA: benchScale.GA}
-	ref, err := estimate.EstimateSI(benchProblem(b, 1), opts)
+	ref, err := estimate.EstimateSI(context.Background(), benchProblem(b, 1), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("full_G+LaG", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := estimate.EstimateSI(benchProblem(b, 1.05), opts); err != nil {
+			if _, err := estimate.EstimateSI(context.Background(), benchProblem(b, 1.05), opts); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("LO_warm_start", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := estimate.EstimateLO(benchProblem(b, 1.05), ref.Params, opts); err != nil {
+			if _, err := estimate.EstimateLO(context.Background(), benchProblem(b, 1.05), ref.Params, opts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -294,7 +295,7 @@ func BenchmarkAblationSimilarityGate(b *testing.B) {
 				{Problem: benchProblem(b, 1.05), ModelID: "hp1"},
 				{Problem: benchProblem(b, 1.1), ModelID: "hp1"},
 			}
-			if _, err := estimate.EstimateMI(jobs, threshold, estimate.Options{GA: benchScale.GA}); err != nil {
+			if _, err := estimate.EstimateMI(context.Background(), jobs, threshold, estimate.Options{GA: benchScale.GA}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -531,7 +532,7 @@ func BenchmarkAblationParallelMI(b *testing.B) {
 	}
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := estimate.EstimateMI(jobs(), 0.2, estimate.Options{GA: benchScale.GA}); err != nil {
+			if _, err := estimate.EstimateMI(context.Background(), jobs(), 0.2, estimate.Options{GA: benchScale.GA}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -539,7 +540,7 @@ func BenchmarkAblationParallelMI(b *testing.B) {
 	b.Run("parallel_4", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			opts := estimate.Options{GA: benchScale.GA, Parallelism: 4}
-			if _, err := estimate.EstimateMI(jobs(), 0.2, opts); err != nil {
+			if _, err := estimate.EstimateMI(context.Background(), jobs(), 0.2, opts); err != nil {
 				b.Fatal(err)
 			}
 		}

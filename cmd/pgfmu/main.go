@@ -2,39 +2,85 @@
 // embedded engine with the model catalogue, the fmu_* UDF suite, and the
 // MADlib-equivalent ML UDFs installed.
 //
-//	$ pgfmu
+//	$ pgfmu            # volatile in-memory database
+//	$ pgfmu /data/dir  # crash-safe durable database in /data/dir
 //	pgfmu> SELECT fmu_create('/tmp/hp1.fmu', 'HP1Instance1');
 //	pgfmu> SELECT * FROM fmu_variables('HP1Instance1');
 //
-// Statements end with ';' and may span lines. \q quits, \d lists tables.
+// Statements end with ';' and may span lines. Statements run through the
+// engine's prepared/streaming API: results print incrementally, so a large
+// fmu_simulate never materializes in shell memory.
+//
+// Meta-commands:
+//
+//	\q          quit
+//	\d          list tables
+//	\timing     toggle per-statement wall-clock reporting
+//	\i FILE     execute statements from FILE
 package main
 
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	pgfmu "repro"
 )
 
 func main() {
-	db, err := pgfmu.Open("")
+	path := ""
+	args := os.Args[1:]
+	if len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: pgfmu [dir]")
+		os.Exit(2)
+	}
+	if len(args) == 1 {
+		path = args[0]
+	}
+	db, err := pgfmu.Open(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pgfmu: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println("pgFMU shell — FMU model management over SQL. \\q quits, \\d lists tables.")
-	scanner := bufio.NewScanner(os.Stdin)
+	defer db.Close()
+
+	mode := "in-memory"
+	if path != "" && path != ":memory:" {
+		mode = "durable at " + path
+	}
+	fmt.Printf("pgFMU shell (%s) — FMU model management over SQL. \\q quits, \\d lists tables, \\timing toggles timing, \\i runs a file.\n", mode)
+
+	sh := &shell{db: db, out: os.Stdout}
+	sh.run(os.Stdin, true)
+}
+
+// shell drives statement accumulation and execution; interactive and \i
+// file input share the same loop.
+type shell struct {
+	db     *pgfmu.DB
+	out    io.Writer
+	timing bool
+	// depth guards against recursive \i include loops.
+	depth int
+}
+
+func (sh *shell) run(in io.Reader, interactive bool) {
+	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
 	var pending strings.Builder
 
 	prompt := func() {
+		if !interactive {
+			return
+		}
 		if pending.Len() == 0 {
-			fmt.Print("pgfmu> ")
+			fmt.Fprint(sh.out, "pgfmu> ")
 		} else {
-			fmt.Print("  ...> ")
+			fmt.Fprint(sh.out, "  ...> ")
 		}
 	}
 	prompt()
@@ -42,17 +88,8 @@ func main() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			switch trimmed {
-			case `\q`, `\quit`:
+			if sh.meta(trimmed) {
 				return
-			case `\d`:
-				names := db.SQL().TableNames()
-				sort.Strings(names)
-				for _, n := range names {
-					fmt.Println(n)
-				}
-			default:
-				fmt.Printf("unknown command %s\n", trimmed)
 			}
 			prompt()
 			continue
@@ -62,54 +99,163 @@ func main() {
 		if strings.HasSuffix(trimmed, ";") {
 			sql := pending.String()
 			pending.Reset()
-			runStatement(db, sql)
+			sh.exec(sql)
 		}
 		prompt()
 	}
 }
 
-func runStatement(db *pgfmu.DB, sql string) {
-	rows, err := db.Query(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";")))
+// meta handles a backslash command; true means quit.
+func (sh *shell) meta(cmd string) bool {
+	name, arg, _ := strings.Cut(cmd, " ")
+	switch name {
+	case `\q`, `\quit`:
+		return true
+	case `\d`:
+		names := sh.db.SQL().TableNames()
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintln(sh.out, n)
+		}
+	case `\timing`:
+		sh.timing = !sh.timing
+		if sh.timing {
+			fmt.Fprintln(sh.out, "Timing is on.")
+		} else {
+			fmt.Fprintln(sh.out, "Timing is off.")
+		}
+	case `\i`:
+		arg = strings.TrimSpace(arg)
+		if arg == "" {
+			fmt.Fprintln(sh.out, `\i: missing file argument`)
+			break
+		}
+		if sh.depth >= 8 {
+			fmt.Fprintln(sh.out, `\i: include depth exceeded`)
+			break
+		}
+		f, err := os.Open(arg)
+		if err != nil {
+			fmt.Fprintf(sh.out, "\\i: %v\n", err)
+			break
+		}
+		sh.depth++
+		sh.run(f, false)
+		sh.depth--
+		f.Close()
+	default:
+		fmt.Fprintf(sh.out, "unknown command %s\n", name)
+	}
+	return false
+}
+
+// exec prepares and executes one statement, streaming the result.
+func (sh *shell) exec(sql string) {
+	sql = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	if sql == "" {
+		return
+	}
+	start := time.Now()
+	// Prepare + streaming execution: the plan lands in (or comes from) the
+	// engine's plan cache, and rows print incrementally as they are pulled.
+	stmt, err := sh.db.Prepare(sql)
 	if err != nil {
-		fmt.Printf("error: %v\n", err)
+		fmt.Fprintf(sh.out, "error: %v\n", err)
 		return
 	}
-	if len(rows.Columns) == 0 {
-		fmt.Println("ok")
+	defer stmt.Close()
+	it, err := stmt.QueryRows()
+	if err != nil {
+		fmt.Fprintf(sh.out, "error: %v\n", err)
 		return
 	}
-	headers := make([]string, len(rows.Columns))
-	widths := make([]int, len(rows.Columns))
-	for i, c := range rows.Columns {
+	if err := sh.printStream(it); err != nil {
+		fmt.Fprintf(sh.out, "error: %v\n", err)
+		return
+	}
+	if sh.timing {
+		fmt.Fprintf(sh.out, "Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
+	}
+}
+
+// printStream renders a result incrementally: the first rows (up to a small
+// sample) size the columns, then everything streams. Large results never
+// materialize in shell memory.
+func (sh *shell) printStream(it *pgfmu.RowIter) error {
+	defer it.Close()
+	cols := it.Columns()
+	if len(cols) == 0 {
+		if err := it.Err(); err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, "ok")
+		return nil
+	}
+
+	headers := make([]string, len(cols))
+	widths := make([]int, len(cols))
+	for i, c := range cols {
 		headers[i] = c.Name
 		widths[i] = len(c.Name)
 	}
-	rendered := make([][]string, len(rows.Rows))
-	for ri, row := range rows.Rows {
-		cells := make([]string, len(row))
-		for ci, v := range row {
-			cells[ci] = v.String()
-			if ci < len(widths) && len(cells[ci]) > widths[ci] {
+
+	// Sample rows to settle column widths before printing anything.
+	const sample = 100
+	var buffered [][]string
+	total := 0
+	for total < sample && it.Next() {
+		row := it.Row()
+		cells := make([]string, len(cols))
+		for ci := range cols {
+			if ci < len(row) {
+				cells[ci] = row[ci].String()
+			}
+			if len(cells[ci]) > widths[ci] {
 				widths[ci] = len(cells[ci])
 			}
 		}
-		rendered[ri] = cells
+		buffered = append(buffered, cells)
+		total++
 	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+
 	writeRow := func(cells []string) {
 		parts := make([]string, len(cells))
 		for i, c := range cells {
-			parts[i] = c + strings.Repeat(" ", widths[i]-len(c))
+			pad := widths[i] - len(c)
+			if pad < 0 {
+				pad = 0
+			}
+			parts[i] = c + strings.Repeat(" ", pad)
 		}
-		fmt.Println(" " + strings.Join(parts, " | "))
+		fmt.Fprintln(sh.out, " "+strings.Join(parts, " | "))
 	}
 	writeRow(headers)
-	total := 1
+	lineWidth := 1
 	for _, w := range widths {
-		total += w + 3
+		lineWidth += w + 3
 	}
-	fmt.Println(strings.Repeat("-", total))
-	for _, cells := range rendered {
+	fmt.Fprintln(sh.out, strings.Repeat("-", lineWidth))
+	for _, cells := range buffered {
 		writeRow(cells)
 	}
-	fmt.Printf("(%d rows)\n", len(rows.Rows))
+	// Stream the rest.
+	for it.Next() {
+		row := it.Row()
+		cells := make([]string, len(cols))
+		for ci := range cols {
+			if ci < len(row) {
+				cells[ci] = row[ci].String()
+			}
+		}
+		writeRow(cells)
+		total++
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "(%d rows)\n", total)
+	return nil
 }

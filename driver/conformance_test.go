@@ -1,0 +1,272 @@
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	pgfmu "repro"
+	"repro/internal/dataset"
+)
+
+// TestConformanceQuickstart drives the paper's quickstart workflow — CREATE
+// TABLE, INSERT measurements through a prepared Stmt, fmu_create,
+// fmu_parest, and streamed fmu_simulate rows — entirely through
+// database/sql, proving the engine behind sql.Open("pgfmu", ...) is a
+// drop-in standard driver.
+func TestConformanceQuickstart(t *testing.T) {
+	db, err := sql.Open("pgfmu", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	// CREATE TABLE via Exec.
+	if _, err := db.Exec(`CREATE TABLE measurements (time float, x float, u float)`); err != nil {
+		t.Fatalf("create table: %v", err)
+	}
+
+	// INSERT the measurement set through a prepared statement.
+	frame, err := dataset.GenerateHP1(dataset.Config{Hours: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare(`INSERT INTO measurements VALUES ($1, $2, $3)`)
+	if err != nil {
+		t.Fatalf("prepare insert: %v", err)
+	}
+	for i, tm := range frame.Times {
+		res, err := ins.Exec(tm, frame.Data["x"][i], frame.Data["u"][i])
+		if err != nil {
+			t.Fatalf("insert row %d: %v", i, err)
+		}
+		if n, err := res.RowsAffected(); err != nil || n != 1 {
+			t.Fatalf("insert row %d: affected=%d err=%v", i, n, err)
+		}
+	}
+	if err := ins.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	if err := db.QueryRow(`SELECT count(*) FROM measurements`).Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != len(frame.Times) {
+		t.Fatalf("expected %d rows, got %d", len(frame.Times), count)
+	}
+
+	// fmu_create from inline Modelica.
+	var instanceID string
+	if err := db.QueryRow(`SELECT fmu_create($1, 'HP1Instance1')`, dataset.HP1Source).Scan(&instanceID); err != nil {
+		t.Fatalf("fmu_create: %v", err)
+	}
+	if instanceID != "HP1Instance1" {
+		t.Fatalf("fmu_create returned %q", instanceID)
+	}
+
+	// fmu_parest: calibrate Cp and R against the measurements.
+	var errs string
+	if err := db.QueryRow(`SELECT fmu_parest('{HP1Instance1}',
+		'{SELECT * FROM measurements}', '{Cp, R}')`).Scan(&errs); err != nil {
+		t.Fatalf("fmu_parest: %v", err)
+	}
+	if !strings.HasPrefix(errs, "{") {
+		t.Fatalf("fmu_parest returned %q", errs)
+	}
+
+	// Streamed fmu_simulate rows: iterate with sql.Rows and stop early —
+	// the driver's streaming Rows must handle an early Close.
+	rows, err := db.Query(`SELECT simulationTime, varName, value
+		FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')
+		WHERE varName = 'x'`)
+	if err != nil {
+		t.Fatalf("fmu_simulate: %v", err)
+	}
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parser normalizes unquoted identifiers to lower case, as
+	// PostgreSQL does.
+	want := []string{"simulationtime", "varname", "value"}
+	if !strings.EqualFold(fmt.Sprint(cols), fmt.Sprint(want)) {
+		t.Fatalf("columns = %v, want %v", cols, want)
+	}
+	seen := 0
+	for rows.Next() {
+		var simTime, value float64
+		var varName string
+		if err := rows.Scan(&simTime, &varName, &value); err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if varName != "x" {
+			t.Fatalf("unexpected varName %q", varName)
+		}
+		seen++
+		if seen == 5 {
+			break
+		}
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Fatalf("streamed %d rows, want 5", seen)
+	}
+
+	// Aggregate analytics over the simulation, post-calibration.
+	var avg float64
+	if err := db.QueryRow(`SELECT avg(value)
+		FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')
+		WHERE varName = 'x'`).Scan(&avg); err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	if avg == 0 {
+		t.Fatal("implausible zero average indoor temperature")
+	}
+}
+
+// TestConformanceTx exercises transaction handles through database/sql:
+// commit persists, rollback undoes, and a second concurrent Begin fails
+// fast with ErrTxInProgress.
+func TestConformanceTx(t *testing.T) {
+	db, err := sql.Open("pgfmu", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a int)`); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	// A second transaction cannot open while the first is in flight.
+	if _, err := db.Begin(); !errors.Is(err, pgfmu.ErrTxInProgress) {
+		t.Fatalf("concurrent Begin: got %v, want ErrTxInProgress", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, sql.ErrTxDone) {
+		// database/sql intercepts double-finish itself.
+		t.Fatalf("double commit: got %v, want sql.ErrTxDone", err)
+	}
+
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Exec(`INSERT INTO t VALUES (2)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	var n int
+	if err := db.QueryRow(`SELECT count(*) FROM t`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("after commit+rollback count = %d, want 1", n)
+	}
+}
+
+// TestConformanceDurable opens a durable DSN, writes through database/sql,
+// reopens, and expects the data back.
+func TestConformanceDurable(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+
+	db, err := sql.Open("pgfmu", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE kv (k text, v int)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO kv VALUES ('answer', 42)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := sql.Open("pgfmu", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	var v int
+	if err := db2.QueryRow(`SELECT v FROM kv WHERE k = 'answer'`).Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("recovered v = %d, want 42", v)
+	}
+}
+
+// TestConformanceContextCancel verifies QueryContext aborts promptly when
+// its context is cancelled mid-stream.
+func TestConformanceContextCancel(t *testing.T) {
+	db, err := sql.Open("pgfmu", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := db.QueryContext(ctx, `SELECT gs * 2 FROM generate_series(1, 100000000) AS gs`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("expected at least one row")
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for rows.Next() {
+		if time.Now().After(deadline) {
+			t.Fatal("iteration did not stop after cancellation")
+		}
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("rows.Err() = %v, want context.Canceled", err)
+	}
+	rows.Close()
+}
+
+// TestConformanceSentinelErrors verifies the typed sentinels surface
+// through database/sql's error unwrapping.
+func TestConformanceSentinelErrors(t *testing.T) {
+	db, err := sql.Open("pgfmu", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	_, err = db.Exec(`INSERT INTO missing VALUES (1)`)
+	if !errors.Is(err, pgfmu.ErrNoSuchTable) {
+		t.Fatalf("insert into missing table: got %v, want ErrNoSuchTable", err)
+	}
+	_, err = db.Query(`SELECT * FROM fmu_variables('nope')`)
+	if !errors.Is(err, pgfmu.ErrNoSuchInstance) {
+		t.Fatalf("unknown instance: got %v, want ErrNoSuchInstance", err)
+	}
+}

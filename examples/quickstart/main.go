@@ -41,8 +41,9 @@ func main() {
 	}
 	fmt.Println("estimation errors:", rows.Rows[0][0])
 
-	// Statement 3: simulate and read predictions.
-	rows, err = db.Query(`
+	// Statement 3: simulate and stream predictions. QueryRows returns a
+	// lazy iterator, so LIMIT 5 renders only five rows of the trajectory.
+	it, err := db.QueryRows(`
 		SELECT simulationTime, varName, value
 		FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')
 		WHERE varName = 'x' LIMIT 5`)
@@ -50,9 +51,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("first predicted indoor temperatures:")
-	for _, r := range rows.Rows {
-		fmt.Printf("  t=%-6s %s = %s\n", r[0], r[1], r[2])
+	for it.Next() {
+		var t, v float64
+		var varName string
+		if err := it.Scan(&t, &varName, &v); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  t=%-6g %s = %g\n", t, varName, v)
 	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+	it.Close()
 
 	// Statement 4: analyse predictions with plain SQL.
 	rows, err = db.Query(`

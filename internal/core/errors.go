@@ -1,0 +1,16 @@
+package core
+
+import "errors"
+
+// Sentinel errors at the pgFMU API boundary. They are wrapped with the
+// offending identifier via fmt.Errorf("%w: %q", ...), so callers test them
+// with errors.Is instead of matching message text.
+var (
+	// ErrNoSuchInstance is returned when an operation names a model
+	// instance that is not registered in the catalogue.
+	ErrNoSuchInstance = errors.New("core: no such model instance")
+
+	// ErrNoSuchVariable is returned when an operation names a variable the
+	// model does not declare.
+	ErrNoSuchVariable = errors.New("core: model has no such variable")
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -29,16 +30,23 @@ type ParestResult struct {
 // model parameters. It updates each instance (and ModelInstanceValues) with
 // the fitted values and returns per-instance estimation errors.
 func (s *Session) Parest(instanceIDs, inputSQLs, pars []string) ([]ParestResult, error) {
+	return s.ParestContext(context.Background(), instanceIDs, inputSQLs, pars)
+}
+
+// ParestContext is Parest honouring ctx: cancelling it aborts the GA /
+// local-search iterations within one objective evaluation, the enclosing
+// transaction rolls back, and the instances keep their pre-call parameters.
+func (s *Session) ParestContext(ctx context.Context, instanceIDs, inputSQLs, pars []string) ([]ParestResult, error) {
 	var results []ParestResult
 	err := s.runWrite(func() error {
 		var perr error
-		results, perr = s.parestLocked(instanceIDs, inputSQLs, pars)
+		results, perr = s.parestLocked(ctx, instanceIDs, inputSQLs, pars)
 		return perr
 	})
 	return results, err
 }
 
-func (s *Session) parestLocked(instanceIDs, inputSQLs, pars []string) ([]ParestResult, error) {
+func (s *Session) parestLocked(ctx context.Context, instanceIDs, inputSQLs, pars []string) ([]ParestResult, error) {
 	if len(instanceIDs) == 0 {
 		return nil, fmt.Errorf("core: fmu_parest requires at least one instance")
 	}
@@ -57,7 +65,7 @@ func (s *Session) parestLocked(instanceIDs, inputSQLs, pars []string) ([]ParestR
 	// Build one estimation job per instance.
 	jobs := make([]*estimate.MIJob, len(instanceIDs))
 	for i, id := range instanceIDs {
-		problem, modelID, err := s.buildProblem(id, inputSQLs[i], pars)
+		problem, modelID, err := s.buildProblem(ctx, id, inputSQLs[i], pars)
 		if err != nil {
 			return nil, fmt.Errorf("core: fmu_parest instance %q: %w", id, err)
 		}
@@ -67,12 +75,12 @@ func (s *Session) parestLocked(instanceIDs, inputSQLs, pars []string) ([]ParestR
 	var results []*estimate.Result
 	var err error
 	if s.miOptimization {
-		results, err = estimate.EstimateMI(jobs, s.threshold, s.estOpts)
+		results, err = estimate.EstimateMI(ctx, jobs, s.threshold, s.estOpts)
 	} else {
 		// pgFMU-: full SI per instance, no warm starts.
 		results = make([]*estimate.Result, len(jobs))
 		for i, job := range jobs {
-			results[i], err = estimate.EstimateSI(job.Problem, s.estOpts)
+			results[i], err = estimate.EstimateSI(ctx, job.Problem, s.estOpts)
 			if err != nil {
 				break
 			}
@@ -117,14 +125,14 @@ func (s *Session) parestLocked(instanceIDs, inputSQLs, pars []string) ([]ParestR
 // buildProblem assembles the estimation problem for one instance: run the
 // input query, bind columns to inputs and measured outputs by name
 // (Challenge 2), and read parameter bounds from the catalogue.
-func (s *Session) buildProblem(instanceID, inputSQL string, pars []string) (*estimate.Problem, string, error) {
+func (s *Session) buildProblem(ctx context.Context, instanceID, inputSQL string, pars []string) (*estimate.Problem, string, error) {
 	inst, modelID, err := s.instanceLocked(instanceID)
 	if err != nil {
 		return nil, "", err
 	}
 	unit := s.units[modelID]
 
-	rs, err := s.db.QueryNested(inputSQL)
+	rs, err := s.db.QueryNestedContext(ctx, inputSQL)
 	if err != nil {
 		return nil, "", fmt.Errorf("input query: %w", err)
 	}
@@ -197,20 +205,25 @@ func columnNames(in *inputData) []string {
 // ValidateInstance computes the RMSE of an instance's current parameters
 // against a hold-out query — the workflow's model-validation step.
 func (s *Session) ValidateInstance(instanceID, inputSQL string, pars []string) (float64, error) {
+	return s.ValidateInstanceContext(context.Background(), instanceID, inputSQL, pars)
+}
+
+// ValidateInstanceContext is ValidateInstance honouring ctx.
+func (s *Session) ValidateInstanceContext(ctx context.Context, instanceID, inputSQL string, pars []string) (float64, error) {
 	// inputSQL is caller-supplied and may contain DML, so — like the SQL
 	// path, where fmu_validate is registered side-effecting — this runs
 	// exclusive, not shared.
 	var rmse float64
 	err := s.runWrite(func() error {
 		var verr error
-		rmse, verr = s.validateLocked(instanceID, inputSQL, pars)
+		rmse, verr = s.validateLocked(ctx, instanceID, inputSQL, pars)
 		return verr
 	})
 	return rmse, err
 }
 
-func (s *Session) validateLocked(instanceID, inputSQL string, pars []string) (float64, error) {
-	problem, _, err := s.buildProblem(instanceID, inputSQL, pars)
+func (s *Session) validateLocked(ctx context.Context, instanceID, inputSQL string, pars []string) (float64, error) {
+	problem, _, err := s.buildProblem(ctx, instanceID, inputSQL, pars)
 	if err != nil {
 		return 0, err
 	}

@@ -330,7 +330,7 @@ func (s *Session) instance(instanceID string) (*fmu.Instance, string, error) {
 func (s *Session) instanceLocked(instanceID string) (*fmu.Instance, string, error) {
 	inst, ok := s.instances[instanceID]
 	if !ok {
-		return nil, "", fmt.Errorf("core: unknown model instance %q", instanceID)
+		return nil, "", fmt.Errorf("%w: %q", ErrNoSuchInstance, instanceID)
 	}
 	return inst, s.instanceModel[instanceID], nil
 }
@@ -422,7 +422,7 @@ func (s *Session) setValueLocked(instanceID, varName, attr string, value float64
 		}
 	case "min", "max":
 		if inst.KindOf(varName) == fmu.VarUnknown {
-			return fmt.Errorf("core: model has no variable %q", varName)
+			return fmt.Errorf("%w: %q", ErrNoSuchVariable, varName)
 		}
 		col := "minvalue"
 		if attr == "max" {
@@ -475,7 +475,7 @@ func (s *Session) getLocked(instanceID, varName string) (initial, minV, maxV var
 	if v, gerr := inst.GetReal(varName); gerr == nil {
 		initial = variant.NewFloat(v)
 	} else if inst.KindOf(varName) == fmu.VarUnknown {
-		return variant.Value{}, variant.Value{}, variant.Value{}, fmt.Errorf("core: model has no variable %q", varName)
+		return variant.Value{}, variant.Value{}, variant.Value{}, fmt.Errorf("%w: %q", ErrNoSuchVariable, varName)
 	}
 	rs, err := s.db.QueryNested(
 		`SELECT minvalue, maxvalue FROM modelvariable WHERE modelid = $1 AND varname = $2`,
@@ -529,7 +529,7 @@ func (s *Session) DeleteInstance(instanceID string) error {
 func (s *Session) deleteInstanceLocked(instanceID string) error {
 	inst, ok := s.instances[instanceID]
 	if !ok {
-		return fmt.Errorf("core: unknown model instance %q", instanceID)
+		return fmt.Errorf("%w: %q", ErrNoSuchInstance, instanceID)
 	}
 	modelID := s.instanceModel[instanceID]
 	s.onRollback(func() {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"time"
@@ -32,34 +34,50 @@ type SimulateRequest struct {
 // paper's Table 4 shape: (simulationTime, instanceId, varName, value) with
 // one row per variable per communication point.
 func (s *Session) Simulate(req SimulateRequest) (*sqldb.ResultSet, error) {
+	return s.SimulateContext(context.Background(), req)
+}
+
+// SimulateContext is Simulate honouring ctx: cancellation is observed
+// during integration stepping, so a long simulation aborts mid-run and the
+// enclosing transaction rolls back.
+func (s *Session) SimulateContext(ctx context.Context, req SimulateRequest) (*sqldb.ResultSet, error) {
 	// Simulation also refreshes catalogued state values, so it runs as a
 	// write.
 	var rs *sqldb.ResultSet
 	err := s.runWrite(func() error {
-		var serr error
-		rs, serr = s.simulateLocked(req)
-		return serr
+		res, timestamps, serr := s.simulateFrameLocked(ctx, req)
+		if serr != nil {
+			return serr
+		}
+		rs = simResultToTable(req.InstanceID, res, timestamps)
+		return nil
 	})
 	return rs, err
 }
 
-func (s *Session) simulateLocked(req SimulateRequest) (*sqldb.ResultSet, error) {
+// simulateFrameLocked runs Algorithm 4 up to — but not including — the
+// long-format row rendering: it returns the compact trajectory frame plus
+// whether times should render as timestamps. The SQL fmu_simulate UDF
+// streams rows from this frame lazily (see simulateStreamUDF), so a LIMIT
+// over a large simulation never materializes the full n_times × n_vars
+// relation.
+func (s *Session) simulateFrameLocked(ctx context.Context, req SimulateRequest) (*fmu.SimResult, bool, error) {
 	inst, modelID, err := s.instanceLocked(req.InstanceID)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	unit := s.units[modelID]
 
 	// Stage 1: build the input object from the query result (Challenge 2).
 	var in *inputData
 	if req.InputSQL != "" {
-		rs, err := s.db.QueryNested(req.InputSQL)
+		rs, err := s.db.QueryNestedContext(ctx, req.InputSQL)
 		if err != nil {
-			return nil, fmt.Errorf("core: input query: %w", err)
+			return nil, false, fmt.Errorf("core: input query: %w", err)
 		}
 		in, err = decodeInput(rs)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 
@@ -78,20 +96,20 @@ func (s *Session) simulateLocked(req SimulateRequest) (*sqldb.ResultSet, error) 
 	case req.TimeFrom != nil && req.TimeTo != nil:
 		t0, t1 = *req.TimeFrom, *req.TimeTo
 	case req.TimeFrom != nil || req.TimeTo != nil:
-		return nil, fmt.Errorf("core: incomplete simulation time interval: both time_from and time_to are required")
+		return nil, false, fmt.Errorf("core: incomplete simulation time interval: both time_from and time_to are required")
 	case in != nil:
 		t0, t1, err = in.window()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	default:
 		t0, t1, err = unit.DefaultInterval()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	if t1 <= t0 {
-		return nil, fmt.Errorf("core: empty simulation interval [%v, %v]", t0, t1)
+		return nil, false, fmt.Errorf("core: empty simulation interval [%v, %v]", t0, t1)
 	}
 
 	step := req.OutputStep
@@ -110,9 +128,9 @@ func (s *Session) simulateLocked(req SimulateRequest) (*sqldb.ResultSet, error) 
 		}
 	}
 
-	res, err := inst.Simulate(inputs, t0, t1, &fmu.SimOptions{OutputStep: step})
+	res, err := inst.Simulate(inputs, t0, t1, &fmu.SimOptions{OutputStep: step, Ctx: ctx})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	// Mirror the state initial values used by this run into the catalogue
@@ -120,17 +138,17 @@ func (s *Session) simulateLocked(req SimulateRequest) (*sqldb.ResultSet, error) 
 	// ModelInstanceValues).
 	for _, st := range unit.Model.States {
 		if v, gerr := inst.GetReal(st.Name); gerr == nil {
-			if _, err := s.db.QueryNested(
+			if _, err := s.db.QueryNestedContext(ctx,
 				`UPDATE modelinstancevalues SET value = $1
 				 WHERE instanceid = $2 AND varname = $3`,
 				v, req.InstanceID, st.Name); err != nil {
-				return nil, err
+				return nil, false, err
 			}
 		}
 	}
 
 	timestamps := in != nil && in.timeIsTimestamp
-	return simResultToTable(req.InstanceID, res, timestamps), nil
+	return res, timestamps, nil
 }
 
 // maxSeriesLen reports the longest input series length.
@@ -144,29 +162,78 @@ func maxSeriesLen(in *inputData) int {
 	return n
 }
 
-// simResultToTable renders a simulation result in the Table-4 long format.
-func simResultToTable(instanceID string, res *fmu.SimResult, timestamps bool) *sqldb.ResultSet {
-	out := &sqldb.ResultSet{Columns: []sqldb.Column{
+// simTableColumns is the Table-4 result shape.
+func simTableColumns() []sqldb.Column {
+	return []sqldb.Column{
 		{Name: "simulationTime", Type: "variant"},
 		{Name: "instanceId", Type: "text"},
 		{Name: "varName", Type: "text"},
 		{Name: "value", Type: "float"},
-	}}
+	}
+}
+
+// simResultStream renders a simulation result in the Table-4 long format
+// lazily: the backing store stays the compact per-variable frame, and each
+// Next materializes exactly one (time, instance, var, value) row. The frame
+// is private to the stream, so iteration is safe after the database lock is
+// released.
+type simResultStream struct {
+	res        *fmu.SimResult
+	cols       []string // sorted variable names
+	instVal    variant.Value
+	timestamps bool
+	ti, ci     int // current time index, column index
+}
+
+func newSimResultStream(instanceID string, res *fmu.SimResult, timestamps bool) *simResultStream {
 	cols := append([]string(nil), res.Frame.Columns...)
 	sort.Strings(cols)
-	instVal := variant.NewText(instanceID)
-	for i, t := range res.Frame.Times {
-		var tv variant.Value
-		if timestamps {
-			tv = variant.NewTime(time.Unix(int64(t), 0).UTC())
-		} else {
-			tv = variant.NewFloat(t)
-		}
-		for _, c := range cols {
-			out.Rows = append(out.Rows, sqldb.Row{
-				tv, instVal, variant.NewText(c), variant.NewFloat(res.Frame.Data[c][i]),
-			})
-		}
+	return &simResultStream{
+		res:        res,
+		cols:       cols,
+		instVal:    variant.NewText(instanceID),
+		timestamps: timestamps,
 	}
-	return out
+}
+
+func (ss *simResultStream) Columns() []sqldb.Column { return simTableColumns() }
+
+func (ss *simResultStream) Next() (sqldb.Row, error) {
+	if len(ss.cols) == 0 || ss.ti >= len(ss.res.Frame.Times) {
+		return nil, io.EOF
+	}
+	t := ss.res.Frame.Times[ss.ti]
+	var tv variant.Value
+	if ss.timestamps {
+		tv = variant.NewTime(time.Unix(int64(t), 0).UTC())
+	} else {
+		tv = variant.NewFloat(t)
+	}
+	c := ss.cols[ss.ci]
+	row := sqldb.Row{tv, ss.instVal, variant.NewText(c), variant.NewFloat(ss.res.Frame.Data[c][ss.ti])}
+	ss.ci++
+	if ss.ci >= len(ss.cols) {
+		ss.ci = 0
+		ss.ti++
+	}
+	return row, nil
+}
+
+func (ss *simResultStream) Close() error {
+	ss.ti = len(ss.res.Frame.Times)
+	return nil
+}
+
+// simResultToTable renders a simulation result in the Table-4 long format,
+// materialized — the typed-API compatibility path.
+func simResultToTable(instanceID string, res *fmu.SimResult, timestamps bool) *sqldb.ResultSet {
+	out := &sqldb.ResultSet{Columns: simTableColumns()}
+	st := newSimResultStream(instanceID, res, timestamps)
+	for {
+		row, err := st.Next()
+		if err != nil {
+			return out
+		}
+		out.Rows = append(out.Rows, row)
+	}
 }

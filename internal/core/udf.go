@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -154,8 +155,10 @@ func (s *Session) registerUDFs() {
 
 	// fmu_parest(instanceIds, input_sqls [, pars [, threshold]])
 	//   -> '{rmse1, rmse2, ...}' (the paper's estimationErrors list)
-	db.RegisterScalar("fmu_parest", func(_ *sqldb.DB, args []variant.Value) (variant.Value, error) {
-		results, err := s.parestFromArgs(args)
+	// Registered context-aware: a cancelled statement context aborts the
+	// GA / local-search iterations within one objective evaluation.
+	db.RegisterScalarContext("fmu_parest", func(ctx context.Context, _ *sqldb.DB, args []variant.Value) (variant.Value, error) {
+		results, err := s.parestFromArgs(ctx, args)
 		if err != nil {
 			return variant.Value{}, err
 		}
@@ -164,12 +167,12 @@ func (s *Session) registerUDFs() {
 			parts[i] = strconv.FormatFloat(r.RMSE, 'g', 6, 64)
 		}
 		return variant.NewText("{" + strings.Join(parts, ", ") + "}"), nil
-	})
+	}, false)
 
 	// fmu_parest_report(...) -> table(instanceId, rmse, warm_start) for
 	// analytical use of estimation outcomes.
-	db.RegisterTable("fmu_parest_report", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
-		results, err := s.parestFromArgs(args)
+	db.RegisterTableContext("fmu_parest_report", func(ctx context.Context, _ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
+		results, err := s.parestFromArgs(ctx, args)
 		if err != nil {
 			return nil, err
 		}
@@ -186,10 +189,10 @@ func (s *Session) registerUDFs() {
 			})
 		}
 		return out, nil
-	})
+	}, false)
 
 	// fmu_validate(instanceId, input_sql [, pars]) -> rmse
-	db.RegisterScalar("fmu_validate", func(_ *sqldb.DB, args []variant.Value) (variant.Value, error) {
+	db.RegisterScalarContext("fmu_validate", func(ctx context.Context, _ *sqldb.DB, args []variant.Value) (variant.Value, error) {
 		if len(args) != 2 && len(args) != 3 {
 			return variant.Value{}, fmt.Errorf("fmu_validate(instanceId, input_sql [, pars]) expects 2 or 3 arguments")
 		}
@@ -199,16 +202,22 @@ func (s *Session) registerUDFs() {
 		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		rmse, err := s.validateLocked(args[0].AsText(), args[1].AsText(), pars)
+		rmse, err := s.validateLocked(ctx, args[0].AsText(), args[1].AsText(), pars)
 		if err != nil {
 			return variant.Value{}, err
 		}
 		return variant.NewFloat(rmse), nil
-	})
+	}, false)
 
 	// fmu_simulate(instanceId [, input_sql [, time_from, time_to]])
 	//   -> table(simulationTime, instanceId, varName, value)
-	db.RegisterTable("fmu_simulate", func(_ *sqldb.DB, args []variant.Value) (*sqldb.ResultSet, error) {
+	// Registered as a streaming table UDF: the simulation runs (and the
+	// catalogue updates commit) under the statement's lock, but the Table-4
+	// long-format rows are rendered lazily from the compact result frame —
+	// so `SELECT ... FROM fmu_simulate(...) LIMIT k` does bounded
+	// materialization work, and large trajectories stream to the client
+	// with bounded memory.
+	db.RegisterTableIter("fmu_simulate", func(ctx context.Context, _ *sqldb.DB, args []variant.Value) (sqldb.RowStream, error) {
 		if len(args) < 1 || len(args) > 4 {
 			return nil, fmt.Errorf("fmu_simulate(instanceId [, input_sql [, time_from, time_to]]) expects 1–4 arguments")
 		}
@@ -232,8 +241,12 @@ func (s *Session) registerUDFs() {
 		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return s.simulateLocked(req)
-	})
+		res, timestamps, err := s.simulateFrameLocked(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return newSimResultStream(req.InstanceID, res, timestamps), nil
+	}, false)
 
 	s.registerControlUDF()
 
@@ -249,7 +262,7 @@ func (s *Session) registerUDFs() {
 }
 
 // parestFromArgs decodes the paper's brace-list UDF argument convention.
-func (s *Session) parestFromArgs(args []variant.Value) ([]ParestResult, error) {
+func (s *Session) parestFromArgs(ctx context.Context, args []variant.Value) ([]ParestResult, error) {
 	if len(args) < 2 || len(args) > 4 {
 		return nil, fmt.Errorf("fmu_parest(instanceIds, input_sqls [, pars [, threshold]]) expects 2–4 arguments")
 	}
@@ -270,7 +283,7 @@ func (s *Session) parestFromArgs(args []variant.Value) ([]ParestResult, error) {
 		s.threshold = t
 		defer func() { s.threshold = old }()
 	}
-	return s.parestLocked(instanceIDs, inputSQLs, pars)
+	return s.parestLocked(ctx, instanceIDs, inputSQLs, pars)
 }
 
 // timeArg converts a SQL time_from/time_to argument (number or timestamp)

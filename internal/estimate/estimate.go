@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -23,20 +24,21 @@ type Options struct {
 
 // EstimateSI runs the paper's Algorithm 2 (single-instance): Global Search
 // to locate the basin, then gradient-based Local-after-Global to refine, and
-// returns the fitted parameters with the training RMSE.
-func EstimateSI(p *Problem, opts Options) (*Result, error) {
+// returns the fitted parameters with the training RMSE. Cancelling ctx
+// stops the run within one objective evaluation.
+func EstimateSI(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	opts.GA.Trace = opts.GA.Trace || opts.Trace
 	opts.Local.Trace = opts.Local.Trace || opts.Trace
 
-	gBest, _, gEvals, gTrace, err := GlobalSearch(p, opts.GA)
+	gBest, _, gEvals, gTrace, err := GlobalSearch(ctx, p, opts.GA)
 	if err != nil {
 		return nil, fmt.Errorf("estimate: global search: %w", err)
 	}
 	opts.Local.Phase = "LaG"
-	lBest, lCost, lEvals, lTrace, err := LocalSearch(p, gBest, opts.Local)
+	lBest, lCost, lEvals, lTrace, err := LocalSearch(ctx, p, gBest, opts.Local)
 	if err != nil {
 		return nil, fmt.Errorf("estimate: local search: %w", err)
 	}
@@ -47,7 +49,7 @@ func EstimateSI(p *Problem, opts Options) (*Result, error) {
 // EstimateLO runs Local-Only search from a warm start — the optimization the
 // MI path applies once the similarity gate passes (same algorithm as LaG
 // with different initial parameter values, per §6).
-func EstimateLO(p *Problem, warmStart map[string]float64, opts Options) (*Result, error) {
+func EstimateLO(ctx context.Context, p *Problem, warmStart map[string]float64, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,7 +63,7 @@ func EstimateLO(p *Problem, warmStart map[string]float64, opts Options) (*Result
 	}
 	opts.Local.Trace = opts.Local.Trace || opts.Trace
 	opts.Local.Phase = "LO"
-	best, cost, evals, trace, err := LocalSearch(p, start, opts.Local)
+	best, cost, evals, trace, err := LocalSearch(ctx, p, start, opts.Local)
 	if err != nil {
 		return nil, fmt.Errorf("estimate: local-only search: %w", err)
 	}
@@ -125,8 +127,9 @@ func Dissimilarity(ref, other *Problem) (float64, error) {
 // whose measurements are within threshold of the first job's reuse its
 // optimum as a warm start and run LO only. Dissimilar jobs (or jobs of a
 // different model) fall back to the full SI path. threshold <= 0 picks
-// DefaultSimilarityThreshold.
-func EstimateMI(jobs []*MIJob, threshold float64, opts Options) ([]*Result, error) {
+// DefaultSimilarityThreshold. Cancelling ctx stops the whole fan-out within
+// one objective evaluation per in-flight job.
+func EstimateMI(ctx context.Context, jobs []*MIJob, threshold float64, opts Options) ([]*Result, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("estimate: no jobs")
 	}
@@ -135,7 +138,7 @@ func EstimateMI(jobs []*MIJob, threshold float64, opts Options) ([]*Result, erro
 	}
 	results := make([]*Result, len(jobs))
 
-	first, err := EstimateSI(jobs[0].Problem, opts)
+	first, err := EstimateSI(ctx, jobs[0].Problem, opts)
 	if err != nil {
 		return nil, fmt.Errorf("estimate: MI job 0: %w", err)
 	}
@@ -155,14 +158,14 @@ func EstimateMI(jobs []*MIJob, threshold float64, opts Options) ([]*Result, erro
 			useWarm = d < threshold
 		}
 		if useWarm {
-			res, err := EstimateLO(job.Problem, first.Params, opts)
+			res, err := EstimateLO(ctx, job.Problem, first.Params, opts)
 			if err != nil {
 				return fmt.Errorf("estimate: MI job %d (LO): %w", i, err)
 			}
 			results[i] = res
 			return nil
 		}
-		res, err := EstimateSI(job.Problem, opts)
+		res, err := EstimateSI(ctx, job.Problem, opts)
 		if err != nil {
 			return fmt.Errorf("estimate: MI job %d (SI fallback): %w", i, err)
 		}

@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -169,7 +170,7 @@ func TestGlobalSearchFindsBasin(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	best, cost, evals, trace, err := GlobalSearch(p, GAOptions{Population: 24, Generations: 12, Seed: 7, Trace: true})
+	best, cost, evals, trace, err := GlobalSearch(context.Background(), p, GAOptions{Population: 24, Generations: 12, Seed: 7, Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,11 +199,11 @@ func TestGASeedReproducible(t *testing.T) {
 	p2 := synthProblem(t, 1)
 	_ = p1.Validate()
 	_ = p2.Validate()
-	b1, c1, _, _, err := GlobalSearch(p1, GAOptions{Population: 10, Generations: 5, Seed: 42})
+	b1, c1, _, _, err := GlobalSearch(context.Background(), p1, GAOptions{Population: 10, Generations: 5, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, c2, _, _, err := GlobalSearch(p2, GAOptions{Population: 10, Generations: 5, Seed: 42})
+	b2, c2, _, _, err := GlobalSearch(context.Background(), p2, GAOptions{Population: 10, Generations: 5, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestLocalSearchRefines(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := []float64{trueA + 0.1, trueB - 2, trueE + 1}
-	best, cost, _, trace, err := LocalSearch(p, start, LocalOptions{Trace: true})
+	best, cost, _, trace, err := LocalSearch(context.Background(), p, start, LocalOptions{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestLocalSearchRefines(t *testing.T) {
 func TestLocalSearchArityError(t *testing.T) {
 	p := synthProblem(t, 1)
 	_ = p.Validate()
-	if _, _, _, _, err := LocalSearch(p, []float64{1}, LocalOptions{}); err == nil {
+	if _, _, _, _, err := LocalSearch(context.Background(), p, []float64{1}, LocalOptions{}); err == nil {
 		t.Error("wrong start arity should fail")
 	}
 }
@@ -251,7 +252,7 @@ func TestNelderMeadRefines(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := []float64{trueA + 0.2, trueB - 3, trueE + 2}
-	_, cost, _, _, err := LocalSearch(p, start, LocalOptions{UseNelderMead: true, MaxIters: 80})
+	_, cost, _, _, err := LocalSearch(context.Background(), p, start, LocalOptions{UseNelderMead: true, MaxIters: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestNelderMeadRefines(t *testing.T) {
 
 func TestEstimateSIRecoversParameters(t *testing.T) {
 	p := synthProblem(t, 1)
-	res, err := EstimateSI(p, Options{GA: GAOptions{Population: 24, Generations: 15, Seed: 3}})
+	res, err := EstimateSI(context.Background(), p, Options{GA: GAOptions{Population: 24, Generations: 15, Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestEstimateSIRecoversParameters(t *testing.T) {
 func TestEstimateLOFromTruthBasin(t *testing.T) {
 	p := synthProblem(t, 1)
 	warm := map[string]float64{"A": trueA + 0.05, "B": trueB - 1, "E": trueE + 0.5}
-	res, err := EstimateLO(p, warm, Options{})
+	res, err := EstimateLO(context.Background(), p, warm, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestEstimateLOFromTruthBasin(t *testing.T) {
 
 func TestEstimateLOMissingWarmParam(t *testing.T) {
 	p := synthProblem(t, 1)
-	if _, err := EstimateLO(p, map[string]float64{"A": 1}, Options{}); err == nil {
+	if _, err := EstimateLO(context.Background(), p, map[string]float64{"A": 1}, Options{}); err == nil {
 		t.Error("missing warm-start parameter should fail")
 	}
 }
@@ -341,7 +342,7 @@ func TestEstimateMIUsesWarmStart(t *testing.T) {
 		{Problem: synthProblem(t, 1.0), ModelID: "other"},
 	}
 	opts := Options{GA: GAOptions{Population: 16, Generations: 8, Seed: 5}}
-	results, err := EstimateMI(jobs, 0, opts) // 0 -> default threshold
+	results, err := EstimateMI(context.Background(), jobs, 0, opts) // 0 -> default threshold
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +371,7 @@ func TestEstimateMIDissimilarFallsBack(t *testing.T) {
 		{Problem: synthProblem(t, 1.5), ModelID: "hp"}, // 50% off: beyond gate
 	}
 	opts := Options{GA: GAOptions{Population: 12, Generations: 6, Seed: 5}}
-	results, err := EstimateMI(jobs, 0.2, opts)
+	results, err := EstimateMI(context.Background(), jobs, 0.2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,14 +381,14 @@ func TestEstimateMIDissimilarFallsBack(t *testing.T) {
 }
 
 func TestEstimateMIEmptyJobs(t *testing.T) {
-	if _, err := EstimateMI(nil, 0.2, Options{}); err == nil {
+	if _, err := EstimateMI(context.Background(), nil, 0.2, Options{}); err == nil {
 		t.Error("no jobs should fail")
 	}
 }
 
 func TestApplyAndValidate(t *testing.T) {
 	p := synthProblem(t, 1)
-	res, err := EstimateSI(p, Options{GA: GAOptions{Population: 16, Generations: 8, Seed: 11}})
+	res, err := EstimateSI(context.Background(), p, Options{GA: GAOptions{Population: 16, Generations: 8, Seed: 11}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,12 +413,12 @@ func TestGACheaperThanLaGClaim(t *testing.T) {
 	// The paper's Figure 6 discussion: G dominates cost (~90% of G+LaG) and
 	// LO alone is far cheaper. Verify the eval-count relationship.
 	p := synthProblem(t, 1)
-	si, err := EstimateSI(p, Options{GA: GAOptions{Population: 24, Generations: 15, Seed: 3}})
+	si, err := EstimateSI(context.Background(), p, Options{GA: GAOptions{Population: 24, Generations: 15, Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	p2 := synthProblem(t, 1)
-	lo, err := EstimateLO(p2, si.Params, Options{})
+	lo, err := EstimateLO(context.Background(), p2, si.Params, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,12 +439,12 @@ func TestEstimateMIParallelMatchesSequential(t *testing.T) {
 		}
 	}
 	opts := Options{GA: GAOptions{Population: 12, Generations: 6, Seed: 5}}
-	seq, err := EstimateMI(build(), 0.2, opts)
+	seq, err := EstimateMI(context.Background(), build(), 0.2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Parallelism = 4
-	par, err := EstimateMI(build(), 0.2, opts)
+	par, err := EstimateMI(context.Background(), build(), 0.2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +473,7 @@ func TestEstimateMIParallelPropagatesErrors(t *testing.T) {
 		{Problem: synthProblem(t, 1.05), ModelID: "hp"},
 	}
 	opts := Options{GA: GAOptions{Population: 8, Generations: 3, Seed: 5}, Parallelism: 3}
-	if _, err := EstimateMI(jobs, 0.2, opts); err == nil {
+	if _, err := EstimateMI(context.Background(), jobs, 0.2, opts); err == nil {
 		t.Error("parallel MI must propagate job errors")
 	}
 }

@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -66,14 +67,22 @@ type individual struct {
 
 // GlobalSearch runs the GA over the problem's bounds and returns the best
 // candidate, its cost, the number of objective evaluations, and an optional
-// trace of per-generation bests.
-func GlobalSearch(p *Problem, opts GAOptions) ([]float64, float64, int, []TracePoint, error) {
+// trace of per-generation bests. The context is polled before every
+// objective evaluation — each one is a full model simulation — so
+// cancellation takes effect within a single evaluation.
+func GlobalSearch(ctx context.Context, p *Problem, opts GAOptions) ([]float64, float64, int, []TracePoint, error) {
 	opts = opts.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	dim := len(p.Params)
 
 	evals := 0
 	eval := func(genes []float64) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		evals++
 		return p.Cost(genes)
 	}

@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -41,24 +42,31 @@ func (o LocalOptions) withDefaults() LocalOptions {
 
 // LocalSearch refines start within the problem bounds and returns the
 // optimum, its cost, the number of objective evaluations, and an optional
-// iteration trace.
-func LocalSearch(p *Problem, start []float64, opts LocalOptions) ([]float64, float64, int, []TracePoint, error) {
+// iteration trace. The context is polled before every objective evaluation,
+// so cancellation takes effect within one evaluation.
+func LocalSearch(ctx context.Context, p *Problem, start []float64, opts LocalOptions) ([]float64, float64, int, []TracePoint, error) {
 	opts = opts.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(start) != len(p.Params) {
 		return nil, 0, 0, nil, fmt.Errorf("estimate: start point has %d values, want %d", len(start), len(p.Params))
 	}
 	if opts.UseNelderMead {
-		return nelderMead(p, start, opts)
+		return nelderMead(ctx, p, start, opts)
 	}
-	return quasiNewton(p, start, opts)
+	return quasiNewton(ctx, p, start, opts)
 }
 
 // quasiNewton is a projected BFGS with backtracking line search and
 // finite-difference gradients.
-func quasiNewton(p *Problem, start []float64, opts LocalOptions) ([]float64, float64, int, []TracePoint, error) {
+func quasiNewton(ctx context.Context, p *Problem, start []float64, opts LocalOptions) ([]float64, float64, int, []TracePoint, error) {
 	dim := len(start)
 	evals := 0
 	eval := func(x []float64) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		evals++
 		return p.Cost(x)
 	}
@@ -217,10 +225,13 @@ func quasiNewton(p *Problem, start []float64, opts LocalOptions) ([]float64, flo
 }
 
 // nelderMead is a bounded simplex search.
-func nelderMead(p *Problem, start []float64, opts LocalOptions) ([]float64, float64, int, []TracePoint, error) {
+func nelderMead(ctx context.Context, p *Problem, start []float64, opts LocalOptions) ([]float64, float64, int, []TracePoint, error) {
 	dim := len(start)
 	evals := 0
 	eval := func(x []float64) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		evals++
 		xc := append([]float64(nil), x...)
 		for i, ps := range p.Params {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -389,7 +390,7 @@ func Fig5(scale Scale) (*Table, error) {
 		return nil, err
 	}
 	opts := estimate.Options{GA: scale.GA, Trace: true}
-	r1, err := estimate.EstimateSI(p1, opts)
+	r1, err := estimate.EstimateSI(context.Background(), p1, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -397,7 +398,7 @@ func Fig5(scale Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	r2, err := estimate.EstimateLO(p2, r1.Params, opts)
+	r2, err := estimate.EstimateLO(context.Background(), p2, r1.Params, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -443,7 +444,7 @@ func Fig6Sweep(scale Scale, deltas []float64) ([]Fig6Row, error) {
 	}
 	opts := estimate.Options{GA: scale.GA}
 	refStart := time.Now()
-	refFit, err := estimate.EstimateSI(ref, opts)
+	refFit, err := estimate.EstimateSI(context.Background(), ref, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -460,7 +461,7 @@ func Fig6Sweep(scale Scale, deltas []float64) ([]Fig6Row, error) {
 			return nil, err
 		}
 		startFull := time.Now()
-		full, err := estimate.EstimateSI(p, opts)
+		full, err := estimate.EstimateSI(context.Background(), p, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -471,7 +472,7 @@ func Fig6Sweep(scale Scale, deltas []float64) ([]Fig6Row, error) {
 			return nil, err
 		}
 		startWarm := time.Now()
-		warm, err := estimate.EstimateLO(p2, refFit.Params, opts)
+		warm, err := estimate.EstimateLO(context.Background(), p2, refFit.Params, opts)
 		if err != nil {
 			return nil, err
 		}

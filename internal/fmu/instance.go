@@ -1,6 +1,7 @@
 package fmu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -209,6 +210,9 @@ type SimOptions struct {
 	OutputStep float64
 	// InputInterpolation selects how input series are read between samples.
 	InputInterpolation timeseries.Interpolation
+	// Ctx, when non-nil, is polled during integration stepping so a
+	// cancelled context aborts a long simulation mid-run.
+	Ctx context.Context
 }
 
 // SimResult is a simulation trajectory: one column per state and output on a
@@ -342,7 +346,19 @@ func (inst *Instance) Simulate(inputs map[string]*timeseries.Series, t0, t1 floa
 		method = solver.NewDormandPrince(1e-6, 1e-8)
 	}
 
+	// Poll the context every 64th derivative evaluation: cheap relative to
+	// expression evaluation, frequent enough that cancellation lands within
+	// a handful of solver steps.
+	rhsCalls := 0
 	rhs := func(t float64, x []float64, dxdt []float64) error {
+		if opts.Ctx != nil {
+			if rhsCalls&63 == 0 {
+				if err := opts.Ctx.Err(); err != nil {
+					return err
+				}
+			}
+			rhsCalls++
+		}
 		env.time = t
 		for i, s := range m.States {
 			env.states[s.Name] = x[i]

@@ -19,6 +19,7 @@
 package pystack
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -127,7 +128,7 @@ func (w *Workflow) RunSingleInstance(instanceID, measurementsSQL, predictionsTab
 		Inputs:   inputs,
 		Measured: measured,
 	}
-	fit, err := estimate.EstimateSI(problem, w.EstOpts)
+	fit, err := estimate.EstimateSI(context.Background(), problem, w.EstOpts)
 	if err != nil {
 		return nil, fmt.Errorf("pystack: calibration: %w", err)
 	}

@@ -21,7 +21,10 @@ func execAggregate(cx *evalCtx, s *SelectStmt, sources []sourceInfo, rows []Row,
 		groups = []*group{{rows: rows}}
 	} else {
 		index := make(map[string]*group)
-		for _, joined := range rows {
+		for ri, joined := range rows {
+			if err := cx.checkCancel(ri); err != nil {
+				return nil, err
+			}
 			sc := bindScope(sources, joined, outer)
 			keyVals := make([]variant.Value, len(s.GroupBy))
 			var kb strings.Builder
@@ -122,7 +125,7 @@ func (g *groupCtx) eval(e Expr) (variant.Value, error) {
 			return fn(args)
 		}
 		if fn, ok := g.cx.db.funcs.scalar(name); ok {
-			return fn(g.cx.db, args)
+			return fn(g.cx.ctxOrBackground(), g.cx.db, args)
 		}
 		return variant.Value{}, fmt.Errorf("sql: unknown function %s()", x.Name)
 	case *BinaryExpr:
@@ -228,7 +231,10 @@ func (g *groupCtx) evalAggregate(x *FuncExpr) (variant.Value, error) {
 	// Collect non-NULL argument values across the group.
 	var vals []variant.Value
 	seen := make(map[string]bool)
-	for _, joined := range g.rows {
+	for ri, joined := range g.rows {
+		if err := g.cx.checkCancel(ri); err != nil {
+			return variant.Value{}, err
+		}
 		sc := bindScope(g.sources, joined, g.outer)
 		v, err := evalExpr(g.cx.withScope(sc), x.Args[0])
 		if err != nil {

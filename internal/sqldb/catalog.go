@@ -156,7 +156,7 @@ func (c *catalog) drop(name string, ifExists bool) (*Table, error) {
 		if ifExists {
 			return nil, nil
 		}
-		return nil, fmt.Errorf("sql: table %q does not exist", name)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
 	// Dropping a table drops its indexes, freeing their names.
 	for _, ix := range t.indexes {
@@ -192,7 +192,7 @@ func (c *catalog) createIndex(info IndexInfo, ifNotExists bool) (created bool, e
 	}
 	t, ok := c.tables[strings.ToLower(info.Table)]
 	if !ok {
-		return false, fmt.Errorf("sql: table %q does not exist", info.Table)
+		return false, fmt.Errorf("%w: %q", ErrNoSuchTable, info.Table)
 	}
 	col := t.columnIndex(info.Column)
 	if col < 0 {
@@ -230,7 +230,7 @@ func (c *catalog) dropIndex(name string, ifExists bool) (*Table, *index, error) 
 		if ifExists {
 			return nil, nil, nil
 		}
-		return nil, nil, fmt.Errorf("sql: index %q does not exist", name)
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchIndex, name)
 	}
 	var table *Table
 	var removed *index

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -17,24 +18,35 @@ import (
 // possible side effects take it exclusively. UDFs registered through
 // RegisterScalarReadOnly/RegisterTableReadOnly declare themselves safe for
 // shared execution.
+//
+// The execution API follows the standard Go contract: Exec/Query/QueryRows
+// with Context variants, Prepare for reusable statements (see stmt.go),
+// Begin for transaction handles (see tx.go), and streaming row iteration
+// (see rows.go). No lock is ever held past a method's return: streaming
+// results iterate over point-in-time snapshots.
 type DB struct {
 	mu     sync.RWMutex
 	tables *catalog
 	funcs  *registry
-	// planCache caches parsed statements keyed by SQL text — the paper's
-	// "prepared SQL queries avoid repeated reevaluation" optimization. It is
+	// planCache caches parsed statements keyed by SQL text (the paper's
+	// "prepared SQL queries avoid repeated reevaluation"). Prepare holds the
+	// same parsed plan directly, skipping even the cache lookup. It is
 	// toggled by EnablePlanCache.
 	planCache   map[string]Statement
 	cachePlans  bool
 	planCacheMu sync.Mutex
 
 	// txn is the open transaction: the explicit one between BEGIN and
-	// COMMIT/ROLLBACK, or the implicit single-statement transaction wrapped
-	// around each write. Mutated only under the exclusive lock (see txn.go).
+	// COMMIT/ROLLBACK (whether issued as SQL or through a Tx handle), or the
+	// implicit single-statement transaction wrapped around each write.
+	// Mutated only under the exclusive lock (see txn.go).
 	txn *txnState
 	// wal is the attached write-ahead log; nil for an in-memory database
 	// (see wal.go / EnableDurability).
 	wal *wal
+	// closed marks a DB shut down by Close; all statement entry points
+	// return ErrClosed afterwards. Guarded by mu.
+	closed bool
 }
 
 // New creates an empty database with the plan cache enabled.
@@ -48,7 +60,8 @@ func New() *DB {
 }
 
 // EnablePlanCache toggles the parsed-statement cache (on by default). The
-// pgFMU- configuration in the experiments disables it.
+// pgFMU- configuration in the experiments disables it. Statements prepared
+// with Prepare keep their plan regardless.
 func (db *DB) EnablePlanCache(on bool) {
 	db.planCacheMu.Lock()
 	defer db.planCacheMu.Unlock()
@@ -72,6 +85,13 @@ func (db *DB) RegisterScalarReadOnly(name string, fn ScalarFunc) {
 	db.funcs.registerScalar(name, fn, true)
 }
 
+// RegisterScalarContext registers a context-aware scalar UDF: it receives
+// the calling statement's context so long-running work (calibration runs,
+// model training) can honour cancellation.
+func (db *DB) RegisterScalarContext(name string, fn ScalarCtxFunc, readOnly bool) {
+	db.funcs.registerScalarCtx(name, fn, readOnly)
+}
+
 // RegisterTable registers a set-returning UDF callable in FROM. Like
 // RegisterScalar, it is assumed to have side effects.
 func (db *DB) RegisterTable(name string, fn TableFunc) {
@@ -84,6 +104,25 @@ func (db *DB) RegisterTableReadOnly(name string, fn TableFunc) {
 	db.funcs.registerTable(name, fn, true)
 }
 
+// RegisterTableContext registers a context-aware set-returning UDF.
+func (db *DB) RegisterTableContext(name string, fn TableCtxFunc, readOnly bool) {
+	db.funcs.registerTableIter(name, func(ctx context.Context, d *DB, args []variant.Value) (RowStream, error) {
+		rs, err := fn(ctx, d, args)
+		if err != nil {
+			return nil, err
+		}
+		return rs.Stream(), nil
+	}, readOnly)
+}
+
+// RegisterTableIter registers a set-returning UDF that produces its relation
+// lazily as a RowStream. The function body runs while the database lock is
+// held; the returned stream may be consumed after the lock is released and
+// therefore must only read data private to the stream (see TableIterFunc).
+func (db *DB) RegisterTableIter(name string, fn TableIterFunc, readOnly bool) {
+	db.funcs.registerTableIter(name, fn, readOnly)
+}
+
 // TableNames lists the catalogued tables (lowercased).
 func (db *DB) TableNames() []string { return db.tables.names() }
 
@@ -93,6 +132,7 @@ func (db *DB) HasTable(name string) bool {
 	return ok
 }
 
+// parse resolves SQL text to a parsed plan through the plan cache.
 func (db *DB) parse(sql string) (Statement, error) {
 	db.planCacheMu.Lock()
 	if db.cachePlans {
@@ -114,10 +154,51 @@ func (db *DB) parse(sql string) (Statement, error) {
 	return stmt, nil
 }
 
-// Query runs a statement and returns its result set. Non-SELECT statements
-// return an empty result with a "rows affected" count encoded in Rows:
-// use Exec for those. args bind $1, $2, ... placeholders.
+// Query runs a statement and returns its fully materialized result set.
+// Non-SELECT statements return an empty result with a "rows affected" count
+// encoded in Rows: use Exec for those. args bind $1, $2, ... placeholders.
+// For large results prefer QueryRows, which streams.
 func (db *DB) Query(sql string, args ...any) (*ResultSet, error) {
+	return db.QueryContext(context.Background(), sql, args...)
+}
+
+// QueryContext is Query honouring ctx: cancellation is observed between
+// rows, inside long-running UDFs registered with a Context variant, and
+// while draining the result.
+func (db *DB) QueryContext(ctx context.Context, sql string, args ...any) (*ResultSet, error) {
+	it, err := db.QueryRowsContext(ctx, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return it.Materialize()
+}
+
+// Exec runs a statement for its side effects and returns the number of rows
+// affected (0 for DDL, row count for SELECT).
+func (db *DB) Exec(sql string, args ...any) (int, error) {
+	return db.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext is Exec honouring ctx.
+func (db *DB) ExecContext(ctx context.Context, sql string, args ...any) (int, error) {
+	rs, err := db.QueryContext(ctx, sql, args...)
+	if err != nil {
+		return 0, err
+	}
+	return len(rs.Rows), nil
+}
+
+// QueryRows runs a statement and returns a streaming row iterator: rows are
+// produced on demand, so LIMIT does bounded work and large results never
+// materialize. The iterator holds no database lock — it reads a
+// point-in-time snapshot — and must be closed (or exhausted).
+func (db *DB) QueryRows(sql string, args ...any) (*RowIter, error) {
+	return db.QueryRowsContext(context.Background(), sql, args...)
+}
+
+// QueryRowsContext is QueryRows honouring ctx: iteration stops with the
+// context's error once it is cancelled.
+func (db *DB) QueryRowsContext(ctx context.Context, sql string, args ...any) (*RowIter, error) {
 	stmt, err := db.parse(sql)
 	if err != nil {
 		return nil, err
@@ -126,65 +207,153 @@ func (db *DB) Query(sql string, args ...any) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	return db.queryStmt(ctx, sql, stmt, params)
+}
+
+// queryStmt is the single executor entry point shared by QueryRowsContext,
+// prepared statements (stmt.go), and transaction handles (tx.go).
+func (db *DB) queryStmt(ctx context.Context, text string, stmt Statement, params []variant.Value) (*RowIter, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cx := &evalCtx{db: db, params: params, ctx: ctx}
 	if db.isReadOnly(stmt) {
+		sel := stmt.(*SelectStmt)
 		db.mu.RLock()
-		defer db.mu.RUnlock()
-		return db.execLocked(stmt, params, false)
+		if db.closed {
+			db.mu.RUnlock()
+			return nil, ErrClosed
+		}
+		st, err := db.selectStream(cx, sel)
+		db.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		return newRowIter(ctx, st), nil
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.execTop(sql, stmt, params)
+	if db.closed {
+		return nil, ErrClosed
+	}
+	return db.execTop(cx, text, stmt)
+}
+
+// selectStream executes a SELECT under the held lock and returns its rows
+// as a stream. Streamable plans get a lazy tail that is safe to iterate
+// after the lock is released; everything else (aggregation, ordering,
+// joins, UDF-bearing expressions) is materialized before returning.
+func (db *DB) selectStream(cx *evalCtx, s *SelectStmt) (RowStream, error) {
+	if streamableSelect(s) {
+		return db.buildSelectStream(cx, s)
+	}
+	rs, err := execSelect(cx, s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Stream(), nil
 }
 
 // execTop runs one top-level statement under the exclusive lock: it handles
 // transaction control, wraps standalone writes in an implicit transaction,
-// and commits to the WAL.
-func (db *DB) execTop(text string, stmt Statement, params []variant.Value) (*ResultSet, error) {
+// and commits to the WAL. The returned iterator's remaining work (if any)
+// is pure, so it is handed out after the transaction has committed.
+func (db *DB) execTop(cx *evalCtx, text string, stmt Statement) (*RowIter, error) {
+	empty := func() *RowIter { return newRowIter(cx.ctx, NewSliceStream(nil, nil)) }
 	switch stmt.(type) {
 	case *BeginStmt:
-		if db.txn != nil && db.txn.explicit {
-			return nil, fmt.Errorf("sql: a transaction is already in progress")
+		if _, err := db.beginLocked(); err != nil {
+			return nil, err
 		}
-		db.txn = newTxn(true)
-		return &ResultSet{}, nil
+		return empty(), nil
 	case *CommitStmt:
 		if db.txn == nil || !db.txn.explicit {
 			return nil, fmt.Errorf("sql: COMMIT without a transaction in progress")
 		}
-		t := db.txn
-		db.txn = nil
-		if err := db.walCommit(t); err != nil {
-			// The log could not be made durable; roll the memory state back
-			// so it never diverges from what recovery would rebuild.
-			if uerr := t.unwind(db, 0, 0); uerr != nil {
-				return nil, errors.Join(err, uerr)
-			}
+		if err := db.commitLocked(db.txn); err != nil {
 			return nil, err
 		}
-		db.maybeAutoCheckpointLocked()
-		return &ResultSet{}, nil
+		return empty(), nil
 	case *RollbackStmt:
 		if db.txn == nil || !db.txn.explicit {
 			return nil, fmt.Errorf("sql: ROLLBACK without a transaction in progress")
 		}
-		t := db.txn
-		db.txn = nil
-		if err := t.unwind(db, 0, 0); err != nil {
+		if err := db.rollbackLocked(db.txn); err != nil {
 			return nil, err
 		}
-		return &ResultSet{}, nil
+		return empty(), nil
 	}
 
-	var rs *ResultSet
+	var st RowStream
 	err := db.runInTxn(func() error {
 		var serr error
-		rs, serr = db.execStatement(text, stmt, params)
+		st, serr = db.execStatement(cx, text, stmt)
 		return serr
 	})
 	if err != nil {
 		return nil, err
 	}
-	return rs, nil
+	return newRowIter(cx.ctx, st), nil
+}
+
+// beginLocked opens an explicit database-wide transaction; ErrTxInProgress
+// if one is already open. Caller holds the exclusive lock.
+func (db *DB) beginLocked() (*txnState, error) {
+	if db.txn != nil && db.txn.explicit {
+		return nil, ErrTxInProgress
+	}
+	t := newTxn(true)
+	db.txn = t
+	return t, nil
+}
+
+// commitLocked commits t if it is still the open transaction: its WAL
+// records are made durable (unwinding memory state if the log fails, so
+// memory never diverges from what recovery would rebuild) and an automatic
+// checkpoint runs when due. ErrTxDone if t was already finished (e.g. by a
+// SQL COMMIT racing a Tx handle); ErrClosed if the database was shut down
+// (the WAL is detached, so the commit could not be made durable). Caller
+// holds the exclusive lock.
+func (db *DB) commitLocked(t *txnState) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if db.txn != t {
+		return ErrTxDone
+	}
+	db.txn = nil
+	if err := db.walCommit(t); err != nil {
+		if uerr := t.unwind(db, 0, 0); uerr != nil {
+			return errors.Join(err, uerr)
+		}
+		return err
+	}
+	db.maybeAutoCheckpointLocked()
+	return nil
+}
+
+// rollbackLocked rolls t back if it is still the open transaction; ErrTxDone
+// otherwise, ErrClosed after shutdown. Caller holds the exclusive lock.
+func (db *DB) rollbackLocked(t *txnState) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if db.txn != t {
+		return ErrTxDone
+	}
+	db.txn = nil
+	return t.unwind(db, 0, 0)
+}
+
+// txLive reports whether t is still the open transaction — false once it
+// was finished by a Tx handle or by SQL COMMIT/ROLLBACK text.
+func (db *DB) txLive(t *txnState) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.txn == t
 }
 
 // runInTxn runs fn as one atomic unit of the open transaction — or of an
@@ -229,25 +398,25 @@ func (db *DB) runInTxn(fn func() error) error {
 // the open transaction (undo on error) and captures its WAL records: the
 // statement text when every referenced function is a builtin, otherwise the
 // physical row changes (see txn.go).
-func (db *DB) execStatement(text string, stmt Statement, params []variant.Value) (*ResultSet, error) {
+func (db *DB) execStatement(cx *evalCtx, text string, stmt Statement) (RowStream, error) {
 	if isTxnControlStmt(stmt) {
 		return nil, fmt.Errorf("sql: transaction control is only valid as a top-level statement")
 	}
 	t := db.txn
 	if t == nil {
 		// Read path (shared lock) or recovery replay: nothing to journal.
-		return db.execLocked(stmt, params, false)
+		return db.execStream(cx, stmt)
 	}
 	undoMark, pendMark := len(t.undo), len(t.pending)
-	logStmt, logPhys := false, false
+	logStmt := false
 	if isMutatingStmt(stmt) && db.wal != nil {
 		if stmtUsesOnlyBuiltins(stmt) {
 			logStmt = true
 		} else {
-			logPhys = true
+			cx.physLog = true
 		}
 	}
-	rs, err := db.execLocked(stmt, params, logPhys)
+	st, err := db.execStream(cx, stmt)
 	if err != nil {
 		if len(t.undo) > undoMark || len(t.pending) > pendMark {
 			if uerr := t.unwind(db, undoMark, pendMark); uerr != nil {
@@ -257,9 +426,21 @@ func (db *DB) execStatement(text string, stmt Statement, params []variant.Value)
 		return nil, err
 	}
 	if logStmt {
-		t.pending = append(t.pending, stmtWALRecord(text, params))
+		t.pending = append(t.pending, stmtWALRecord(text, cx.params))
 	}
-	return rs, nil
+	return st, nil
+}
+
+// execStream dispatches one parsed statement to its executor, as a stream.
+func (db *DB) execStream(cx *evalCtx, stmt Statement) (RowStream, error) {
+	if s, ok := stmt.(*SelectStmt); ok {
+		return db.selectStream(cx, s)
+	}
+	rs, err := db.execLocked(cx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Stream(), nil
 }
 
 // isReadOnly reports whether a statement can run under the shared lock: a
@@ -361,21 +542,18 @@ func walkExprFuncs(e Expr, fn func(string)) {
 	}
 }
 
-// Exec runs a statement for its side effects and returns the number of rows
-// affected (0 for DDL, row count for SELECT).
-func (db *DB) Exec(sql string, args ...any) (int, error) {
-	rs, err := db.Query(sql, args...)
-	if err != nil {
-		return 0, err
-	}
-	return len(rs.Rows), nil
-}
-
 // QueryNested runs a query from inside a UDF that is already executing under
 // the database lock. pgFMU's fmu_parest uses this to evaluate input_sql.
 // Mutations performed here join the enclosing statement's transaction: they
 // are journalled for rollback and captured in its WAL commit.
 func (db *DB) QueryNested(sql string, args ...any) (*ResultSet, error) {
+	return db.QueryNestedContext(context.Background(), sql, args...)
+}
+
+// QueryNestedContext is QueryNested honouring ctx — context-aware UDFs pass
+// their statement context through so nested reads stop promptly on
+// cancellation.
+func (db *DB) QueryNestedContext(ctx context.Context, sql string, args ...any) (*ResultSet, error) {
 	stmt, err := db.parse(sql)
 	if err != nil {
 		return nil, err
@@ -384,7 +562,12 @@ func (db *DB) QueryNested(sql string, args ...any) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.execStatement(sql, stmt, params)
+	cx := &evalCtx{db: db, params: params, ctx: ctx}
+	st, err := db.execStatement(cx, sql, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return drainStream(st)
 }
 
 // RunExclusive runs fn under the exclusive database lock as one atomic
@@ -398,6 +581,9 @@ func (db *DB) QueryNested(sql string, args ...any) (*ResultSet, error) {
 func (db *DB) RunExclusive(fn func() error) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
 	return db.runInTxn(fn)
 }
 
@@ -407,6 +593,9 @@ func (db *DB) RunExclusive(fn func() error) error {
 func (db *DB) RunShared(fn func() error) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
 	return fn()
 }
 
@@ -430,9 +619,17 @@ func (db *DB) ExecScript(sql string) (*ResultSet, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
 	var last *ResultSet
 	for i, stmt := range stmts {
-		last, err = db.execTop(texts[i], stmt, nil)
+		it, err := db.execTop(&evalCtx{db: db}, texts[i], stmt)
+		if err != nil {
+			return nil, err
+		}
+		// Draining under the held lock is safe: any lazy tail is pure.
+		last, err = it.Materialize()
 		if err != nil {
 			return nil, err
 		}
@@ -455,11 +652,11 @@ func bindArgs(args []any) ([]variant.Value, error) {
 	return params, nil
 }
 
-// execLocked dispatches one parsed statement. physLog asks DML executors to
-// emit physical WAL records for each row change (used when the statement
-// text itself cannot be replayed because it references UDFs).
-func (db *DB) execLocked(stmt Statement, params []variant.Value, physLog bool) (*ResultSet, error) {
-	cx := &evalCtx{db: db, params: params, physLog: physLog}
+// execLocked dispatches one parsed statement to its materializing executor.
+// cx.physLog asks DML executors to emit physical WAL records for each row
+// change (used when the statement text itself cannot be replayed because it
+// references UDFs).
+func (db *DB) execLocked(cx *evalCtx, stmt Statement) (*ResultSet, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		return execSelect(cx, s, nil)
@@ -541,7 +738,7 @@ func (db *DB) execDrop(s *DropTableStmt) (*ResultSet, error) {
 func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
 	t, ok := db.tables.get(s.Table)
 	if !ok {
-		return nil, fmt.Errorf("sql: table %q does not exist", s.Table)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, s.Table)
 	}
 	// Column mapping: target index per provided value position.
 	targets := make([]int, 0, len(t.Columns))
@@ -601,7 +798,10 @@ func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
 			count++
 		}
 	} else {
-		for _, exprRow := range s.Rows {
+		for ri, exprRow := range s.Rows {
+			if err := cx.checkCancel(ri); err != nil {
+				return nil, err
+			}
 			vals := make([]variant.Value, len(exprRow))
 			for i, e := range exprRow {
 				v, err := evalExpr(cx, e)
@@ -627,7 +827,7 @@ func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
 func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
 	t, ok := db.tables.get(s.Table)
 	if !ok {
-		return nil, fmt.Errorf("sql: table %q does not exist", s.Table)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, s.Table)
 	}
 	setIdx := make([]int, len(s.Set))
 	for i, sc := range s.Set {
@@ -641,6 +841,9 @@ func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
 	db.touch(t)
 	count := 0
 	for ri, row := range t.Rows {
+		if err := cx.checkCancel(ri); err != nil {
+			return nil, err
+		}
 		sc := bindScope([]sourceInfo{src}, row, nil)
 		rcx := cx.withScope(sc)
 		if s.Where != nil {
@@ -685,13 +888,16 @@ func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
 func (db *DB) execDelete(cx *evalCtx, s *DeleteStmt) (*ResultSet, error) {
 	t, ok := db.tables.get(s.Table)
 	if !ok {
-		return nil, fmt.Errorf("sql: table %q does not exist", s.Table)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, s.Table)
 	}
 	src := sourceInfo{alias: strings.ToLower(s.Table), columns: t.Columns, width: len(t.Columns)}
 	var kept []Row
 	var removed []int
 	deleted := 0
 	for ri, row := range t.Rows {
+		if err := cx.checkCancel(ri); err != nil {
+			return nil, err
+		}
 		remove := true
 		if s.Where != nil {
 			sc := bindScope([]sourceInfo{src}, row, nil)
@@ -737,9 +943,12 @@ func (db *DB) execDelete(cx *evalCtx, s *DeleteStmt) (*ResultSet, error) {
 func (db *DB) InsertRow(table string, values ...any) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
 	t, ok := db.tables.get(table)
 	if !ok {
-		return fmt.Errorf("sql: table %q does not exist", table)
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
 	if len(values) != len(t.Columns) {
 		return fmt.Errorf("sql: table %q has %d columns, got %d values", table, len(t.Columns), len(values))

@@ -1,0 +1,28 @@
+package sqldb
+
+import "errors"
+
+// Sentinel errors returned at the API boundary. They are wrapped with
+// contextual detail (table names, statement text) via fmt.Errorf("%w: ..."),
+// so callers must test them with errors.Is, never by string matching.
+var (
+	// ErrNoSuchTable is returned when a statement references a table that
+	// does not exist in the catalogue.
+	ErrNoSuchTable = errors.New("sql: no such table")
+
+	// ErrNoSuchIndex is returned when DROP INDEX names an unknown index.
+	ErrNoSuchIndex = errors.New("sql: no such index")
+
+	// ErrTxDone is returned by operations on a Tx handle whose transaction
+	// has already been committed or rolled back (including by SQL-level
+	// COMMIT/ROLLBACK issued past the handle).
+	ErrTxDone = errors.New("sql: transaction has already been committed or rolled back")
+
+	// ErrTxInProgress is returned by Begin/BeginTx (and SQL BEGIN) while an
+	// explicit transaction is already open: the engine's transactions are
+	// database-wide, so at most one can be open at a time.
+	ErrTxInProgress = errors.New("sql: a transaction is already in progress")
+
+	// ErrClosed is returned by any operation on a closed DB or Stmt.
+	ErrClosed = errors.New("sql: database is closed")
+)

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"regexp"
@@ -64,18 +65,40 @@ func (s *scope) lookup(table, name string) (variant.Value, error) {
 }
 
 // evalCtx carries evaluation state: the DB (for function registries), bound
-// prepared-statement parameters, and the lexical scope.
+// prepared-statement parameters, the calling statement's context, and the
+// lexical scope.
 type evalCtx struct {
 	db     *DB
 	params []variant.Value
 	scope  *scope
+	// ctx is the statement's context; nil means background. Long row loops
+	// poll it via checkCancel, and context-aware UDFs receive it.
+	ctx context.Context
 	// physLog asks DML executors to emit physical WAL records per row
 	// change (set when the statement text is not replayable; see txn.go).
 	physLog bool
 }
 
 func (cx *evalCtx) withScope(s *scope) *evalCtx {
-	return &evalCtx{db: cx.db, params: cx.params, scope: s, physLog: cx.physLog}
+	return &evalCtx{db: cx.db, params: cx.params, scope: s, ctx: cx.ctx, physLog: cx.physLog}
+}
+
+// ctxOrBackground returns the statement context for handing to UDFs.
+func (cx *evalCtx) ctxOrBackground() context.Context {
+	if cx.ctx != nil {
+		return cx.ctx
+	}
+	return context.Background()
+}
+
+// checkCancel polls the statement context every 256th work unit (i counts
+// rows in the calling loop), so large scans stop promptly after
+// cancellation without paying a per-row synchronization cost.
+func (cx *evalCtx) checkCancel(i int) error {
+	if cx.ctx == nil || i&255 != 0 {
+		return nil
+	}
+	return cx.ctx.Err()
 }
 
 // evalExpr evaluates a non-aggregate expression.

@@ -30,7 +30,10 @@ func execSelect(cx *evalCtx, s *SelectStmt, outer *scope) (*ResultSet, error) {
 	// 2. WHERE.
 	if s.Where != nil {
 		var filtered []Row
-		for _, joined := range rows {
+		for ri, joined := range rows {
+			if err := cx.checkCancel(ri); err != nil {
+				return nil, err
+			}
 			sc := bindScope(sources, joined, outer)
 			ok, err := truthy(cx.withScope(sc), s.Where)
 			if err != nil {
@@ -157,7 +160,7 @@ func joinItem(cx *evalCtx, left []Row, sources []sourceInfo, item FromItem, oute
 		case item.Table != "":
 			t, ok := cx.db.tables.get(item.Table)
 			if !ok {
-				return nil, fmt.Errorf("sql: table %q does not exist", item.Table)
+				return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, item.Table)
 			}
 			// Snapshot rows so mutations during iteration don't interfere.
 			rs := &ResultSet{Columns: t.Columns, Rows: append([]Row(nil), t.Rows...)}
@@ -171,24 +174,11 @@ func joinItem(cx *evalCtx, left []Row, sources []sourceInfo, item FromItem, oute
 				}
 				args[i] = v
 			}
-			if fn, ok := builtinTableFunc(item.Func.Name); ok {
-				return fn(cx.db, args)
+			st, err := cx.db.callTableFunc(cx, item.Func.Name, args)
+			if err != nil {
+				return nil, err
 			}
-			if fn, ok := cx.db.funcs.table(item.Func.Name); ok {
-				return fn(cx.db, args)
-			}
-			// A scalar function in FROM yields a single-row relation.
-			if fn, ok := cx.db.funcs.scalar(strings.ToLower(item.Func.Name)); ok {
-				v, err := fn(cx.db, args)
-				if err != nil {
-					return nil, err
-				}
-				return &ResultSet{
-					Columns: []Column{{Name: item.Func.Name, Type: "variant"}},
-					Rows:    []Row{{v}},
-				}, nil
-			}
-			return nil, fmt.Errorf("sql: unknown function %s() in FROM", item.Func.Name)
+			return drainStreamCtx(cx, st)
 		case item.Sub != nil:
 			return execSelect(cx, item.Sub, sc)
 		default:
@@ -196,33 +186,8 @@ func joinItem(cx *evalCtx, left []Row, sources []sourceInfo, item FromItem, oute
 		}
 	}
 
-	alias := item.Alias
-	if alias == "" {
-		switch {
-		case item.Table != "":
-			alias = strings.ToLower(item.Table)
-		case item.Func != nil:
-			alias = strings.ToLower(item.Func.Name)
-		}
-	}
-
 	makeInfo := func(rs *ResultSet) (sourceInfo, error) {
-		cols := rs.Columns
-		// PostgreSQL rule: aliasing a function item that returns a single
-		// column renames that column too (generate_series(...) AS id).
-		if item.Func != nil && item.Alias != "" && len(cols) == 1 && len(item.ColAliases) == 0 {
-			cols = []Column{{Name: item.Alias, Type: cols[0].Type}}
-		}
-		if len(item.ColAliases) > 0 {
-			if len(item.ColAliases) > len(cols) {
-				return sourceInfo{}, fmt.Errorf("sql: %d column aliases for %d columns", len(item.ColAliases), len(cols))
-			}
-			cols = append([]Column(nil), cols...)
-			for i, a := range item.ColAliases {
-				cols[i].Name = a
-			}
-		}
-		return sourceInfo{alias: alias, columns: cols, width: len(cols)}, nil
+		return fromItemInfo(item, rs.Columns)
 	}
 
 	if !lateral {
@@ -338,7 +303,10 @@ func execProjection(cx *evalCtx, s *SelectStmt, sources []sourceInfo, rows []Row
 		return nil, err
 	}
 	out := &ResultSet{Columns: cols}
-	for _, joined := range rows {
+	for ri, joined := range rows {
+		if err := cx.checkCancel(ri); err != nil {
+			return nil, err
+		}
 		sc := bindScope(sources, joined, outer)
 		row := make(Row, len(exprs))
 		for i, e := range exprs {

@@ -1,7 +1,9 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 	"sync"
@@ -15,29 +17,55 @@ import (
 // PostgreSQL UDFs can use SPI.
 type ScalarFunc func(db *DB, args []variant.Value) (variant.Value, error)
 
+// ScalarCtxFunc is a scalar UDF that observes the calling statement's
+// context, so long-running functions can honour cancellation. Nested queries
+// should run through QueryNestedContext with the same ctx.
+type ScalarCtxFunc func(ctx context.Context, db *DB, args []variant.Value) (variant.Value, error)
+
 // TableFunc is a set-returning function usable in FROM (like PostgreSQL's
 // SRFs): it returns a full relation.
 type TableFunc func(db *DB, args []variant.Value) (*ResultSet, error)
 
+// TableCtxFunc is a set-returning UDF that observes the calling statement's
+// context.
+type TableCtxFunc func(ctx context.Context, db *DB, args []variant.Value) (*ResultSet, error)
+
+// TableIterFunc is a set-returning UDF that produces its relation lazily as
+// a RowStream. The function itself runs while the database lock is held (so
+// nested queries and side effects are safe), but the returned stream may be
+// iterated after the lock is released: it must only read data private to the
+// stream — e.g. a result frame the function already computed — never live
+// catalogue state. This is the streaming seam that lets large results (like
+// fmu_simulate trajectories) flow to the client row by row.
+type TableIterFunc func(ctx context.Context, db *DB, args []variant.Value) (RowStream, error)
+
 // registry holds scalar and table functions, case-insensitively keyed.
-// readOnly records which UDFs declared themselves free of side effects —
-// the statement classifier uses it to decide shared vs exclusive locking.
+// Legacy context-free functions are wrapped at registration, so dispatch is
+// uniformly context-aware. readOnly records which UDFs declared themselves
+// free of side effects — the statement classifier uses it to decide shared
+// vs exclusive locking.
 type registry struct {
 	mu       sync.RWMutex
-	scalars  map[string]ScalarFunc
-	tables   map[string]TableFunc
+	scalars  map[string]ScalarCtxFunc
+	tables   map[string]TableIterFunc
 	readOnly map[string]bool
 }
 
 func newRegistry() *registry {
 	return &registry{
-		scalars:  make(map[string]ScalarFunc),
-		tables:   make(map[string]TableFunc),
+		scalars:  make(map[string]ScalarCtxFunc),
+		tables:   make(map[string]TableIterFunc),
 		readOnly: make(map[string]bool),
 	}
 }
 
 func (r *registry) registerScalar(name string, fn ScalarFunc, ro bool) {
+	r.registerScalarCtx(name, func(_ context.Context, db *DB, args []variant.Value) (variant.Value, error) {
+		return fn(db, args)
+	}, ro)
+}
+
+func (r *registry) registerScalarCtx(name string, fn ScalarCtxFunc, ro bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	key := strings.ToLower(name)
@@ -46,6 +74,16 @@ func (r *registry) registerScalar(name string, fn ScalarFunc, ro bool) {
 }
 
 func (r *registry) registerTable(name string, fn TableFunc, ro bool) {
+	r.registerTableIter(name, func(_ context.Context, db *DB, args []variant.Value) (RowStream, error) {
+		rs, err := fn(db, args)
+		if err != nil {
+			return nil, err
+		}
+		return rs.Stream(), nil
+	}, ro)
+}
+
+func (r *registry) registerTableIter(name string, fn TableIterFunc, ro bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	key := strings.ToLower(name)
@@ -59,14 +97,14 @@ func (r *registry) isReadOnly(name string) bool {
 	return r.readOnly[strings.ToLower(name)]
 }
 
-func (r *registry) scalar(name string) (ScalarFunc, bool) {
+func (r *registry) scalar(name string) (ScalarCtxFunc, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	fn, ok := r.scalars[strings.ToLower(name)]
 	return fn, ok
 }
 
-func (r *registry) table(name string) (TableFunc, bool) {
+func (r *registry) table(name string) (TableIterFunc, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	fn, ok := r.tables[strings.ToLower(name)]
@@ -98,7 +136,7 @@ func evalScalarFunc(cx *evalCtx, x *FuncExpr) (variant.Value, error) {
 		return fn(args)
 	}
 	if fn, ok := cx.db.funcs.scalar(name); ok {
-		return fn(cx.db, args)
+		return fn(cx.ctxOrBackground(), cx.db, args)
 	}
 	return variant.Value{}, fmt.Errorf("sql: unknown function %s()", x.Name)
 }
@@ -305,7 +343,7 @@ func extremum(args []variant.Value, name string, sign int) (variant.Value, error
 }
 
 // builtinTableFuncs are the always-available set-returning functions.
-func builtinTableFunc(name string) (TableFunc, bool) {
+func builtinTableFunc(name string) (TableIterFunc, bool) {
 	switch strings.ToLower(name) {
 	case "generate_series":
 		return generateSeries, true
@@ -315,8 +353,9 @@ func builtinTableFunc(name string) (TableFunc, bool) {
 }
 
 // generateSeries mirrors PostgreSQL's integer generate_series(start, stop
-// [, step]).
-func generateSeries(_ *DB, args []variant.Value) (*ResultSet, error) {
+// [, step]). It produces rows lazily, so LIMIT over a huge series does
+// bounded work.
+func generateSeries(_ context.Context, _ *DB, args []variant.Value) (RowStream, error) {
 	if len(args) != 2 && len(args) != 3 {
 		return nil, fmt.Errorf("sql: generate_series() expects 2 or 3 arguments, got %d", len(args))
 	}
@@ -338,15 +377,29 @@ func generateSeries(_ *DB, args []variant.Value) (*ResultSet, error) {
 			return nil, fmt.Errorf("sql: generate_series step cannot be zero")
 		}
 	}
-	rs := &ResultSet{Columns: []Column{{Name: "generate_series", Type: "integer"}}}
-	if step > 0 {
-		for v := start; v <= stop; v += step {
-			rs.Rows = append(rs.Rows, Row{variant.NewInt(v)})
-		}
-	} else {
-		for v := start; v >= stop; v += step {
-			rs.Rows = append(rs.Rows, Row{variant.NewInt(v)})
-		}
+	return &seriesStream{next: start, stop: stop, step: step}, nil
+}
+
+// seriesStream lazily yields generate_series values.
+type seriesStream struct {
+	next, stop, step int64
+	done             bool
+}
+
+func (s *seriesStream) Columns() []Column {
+	return []Column{{Name: "generate_series", Type: "integer"}}
+}
+
+func (s *seriesStream) Next() (Row, error) {
+	if s.done || (s.step > 0 && s.next > s.stop) || (s.step < 0 && s.next < s.stop) {
+		return nil, io.EOF
 	}
-	return rs, nil
+	v := s.next
+	s.next += s.step
+	return Row{variant.NewInt(v)}, nil
+}
+
+func (s *seriesStream) Close() error {
+	s.done = true
+	return nil
 }

@@ -1,0 +1,286 @@
+package sqldb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/variant"
+)
+
+// Streaming SELECT execution. A "streamable" plan splits into two phases:
+//
+//   - Source resolution, under the database lock: table rows are
+//     snapshotted (a shallow copy — rows are immutable once stored, writers
+//     replace them wholesale), secondary-index candidates are gathered,
+//     subqueries run to completion, and FROM-clause UDFs execute (including
+//     their side effects and WAL capture).
+//   - The lazy tail, after the lock is released: WHERE filtering,
+//     projection, and LIMIT/OFFSET accounting happen per Next call. Because
+//     streamableSelect admits only builtin functions outside the FROM item,
+//     the tail touches no shared state — so LIMIT early-exits without
+//     evaluating the rest, memory stays bounded, and the iterator can be
+//     handed across the API boundary without holding a lock.
+//
+// Everything else (aggregation, GROUP BY, ORDER BY, DISTINCT, joins,
+// UDF-bearing expressions) runs through the materializing executor in
+// exec.go and is wrapped as an already-drained stream.
+
+// streamableSelect reports whether s can run as a lazy stream.
+func streamableSelect(s *SelectStmt) bool {
+	if s.Distinct || len(s.GroupBy) > 0 || s.Having != nil || len(s.OrderBy) > 0 {
+		return false
+	}
+	if selectHasAggregates(s) {
+		return false
+	}
+	if len(s.From) > 1 {
+		return false
+	}
+	if len(s.From) == 1 {
+		item := s.From[0]
+		if item.On != nil {
+			return false
+		}
+		// A lateral subquery re-evaluates per row; only plain subqueries
+		// (materialized once, under the lock) stream.
+		if item.Sub != nil && item.Lateral {
+			return false
+		}
+	}
+	// The lazy tail runs after the lock is released, so every function
+	// outside the FROM item must be an engine builtin.
+	pure := true
+	check := func(name string) {
+		if _, ok := builtinScalars[strings.ToLower(name)]; !ok {
+			pure = false
+		}
+	}
+	for _, it := range s.Items {
+		walkExprFuncs(it.Expr, check)
+	}
+	walkExprFuncs(s.Where, check)
+	walkExprFuncs(s.Limit, check)
+	walkExprFuncs(s.Offset, check)
+	return pure
+}
+
+// buildSelectStream assembles the two-phase pipeline for a streamable
+// SELECT. It must run under the database lock (either mode); the returned
+// stream's Next does only pure work.
+func (db *DB) buildSelectStream(cx *evalCtx, s *SelectStmt) (RowStream, error) {
+	var src RowStream
+	var sources []sourceInfo
+	if len(s.From) == 0 {
+		src = &sliceStream{rows: []Row{{}}}
+	} else if cand, info, ok := tryIndexScan(cx, s); ok {
+		src = &sliceStream{cols: info.columns, rows: cand}
+		sources = []sourceInfo{info}
+	} else {
+		item := s.From[0]
+		var cols []Column
+		switch {
+		case item.Table != "":
+			t, ok := db.tables.get(item.Table)
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, item.Table)
+			}
+			// Snapshot the row slice: writers replace rows, never mutate
+			// them in place, so the copy is a consistent point-in-time view.
+			src = &sliceStream{cols: t.Columns, rows: append([]Row(nil), t.Rows...)}
+			cols = t.Columns
+		case item.Func != nil:
+			args := make([]variant.Value, len(item.Func.Args))
+			for i, a := range item.Func.Args {
+				v, err := evalExpr(cx, a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = v
+			}
+			st, err := db.callTableFunc(cx, item.Func.Name, args)
+			if err != nil {
+				return nil, err
+			}
+			src = st
+			cols = st.Columns()
+		case item.Sub != nil:
+			rs, err := execSelect(cx, item.Sub, nil)
+			if err != nil {
+				return nil, err
+			}
+			src = rs.Stream()
+			cols = rs.Columns
+		default:
+			return nil, fmt.Errorf("sql: empty FROM item")
+		}
+		info, err := fromItemInfo(item, cols)
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		sources = []sourceInfo{info}
+	}
+
+	cols, exprs, err := expandItems(s.Items, sources)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	offset, limit := -1, -1
+	if s.Offset != nil {
+		v, err := evalExpr(cx, s.Offset)
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		n, err := v.AsInt()
+		if err != nil {
+			src.Close()
+			return nil, fmt.Errorf("sql: OFFSET: %w", err)
+		}
+		if n > 0 {
+			offset = int(n)
+		}
+	}
+	if s.Limit != nil {
+		v, err := evalExpr(cx, s.Limit)
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		n, err := v.AsInt()
+		if err != nil {
+			src.Close()
+			return nil, fmt.Errorf("sql: LIMIT: %w", err)
+		}
+		if n >= 0 {
+			limit = int(n)
+		}
+	}
+	// Detach the evaluation context: the tail must not inherit transaction
+	// bookkeeping (physLog) or a scope bound while the lock was held.
+	tailCx := &evalCtx{db: db, params: cx.params, ctx: cx.ctx}
+	return &selectStream{
+		cx:      tailCx,
+		src:     src,
+		sources: sources,
+		where:   s.Where,
+		cols:    cols,
+		exprs:   exprs,
+		offset:  offset,
+		limit:   limit,
+	}, nil
+}
+
+// callTableFunc resolves a FROM-clause function into a row stream: builtin
+// SRFs, registered table UDFs (streaming or materialized), or — PostgreSQL
+// style — a scalar function as a one-row relation.
+func (db *DB) callTableFunc(cx *evalCtx, name string, args []variant.Value) (RowStream, error) {
+	ctx := cx.ctxOrBackground()
+	if fn, ok := builtinTableFunc(name); ok {
+		return fn(ctx, db, args)
+	}
+	if fn, ok := db.funcs.table(name); ok {
+		return fn(ctx, db, args)
+	}
+	if fn, ok := db.funcs.scalar(strings.ToLower(name)); ok {
+		v, err := fn(ctx, db, args)
+		if err != nil {
+			return nil, err
+		}
+		return NewSliceStream([]Column{{Name: name, Type: "variant"}}, []Row{{v}}), nil
+	}
+	return nil, fmt.Errorf("sql: unknown function %s() in FROM", name)
+}
+
+// fromItemInfo computes the sourceInfo for one FROM item given the raw
+// column shape of its relation: alias resolution, PostgreSQL's
+// single-column function rename, and explicit column aliases.
+func fromItemInfo(item FromItem, cols []Column) (sourceInfo, error) {
+	alias := item.Alias
+	if alias == "" {
+		switch {
+		case item.Table != "":
+			alias = strings.ToLower(item.Table)
+		case item.Func != nil:
+			alias = strings.ToLower(item.Func.Name)
+		}
+	}
+	// PostgreSQL rule: aliasing a function item that returns a single
+	// column renames that column too (generate_series(...) AS id).
+	if item.Func != nil && item.Alias != "" && len(cols) == 1 && len(item.ColAliases) == 0 {
+		cols = []Column{{Name: item.Alias, Type: cols[0].Type}}
+	}
+	if len(item.ColAliases) > 0 {
+		if len(item.ColAliases) > len(cols) {
+			return sourceInfo{}, fmt.Errorf("sql: %d column aliases for %d columns", len(item.ColAliases), len(cols))
+		}
+		cols = append([]Column(nil), cols...)
+		for i, a := range item.ColAliases {
+			cols[i].Name = a
+		}
+	}
+	return sourceInfo{alias: alias, columns: cols, width: len(cols)}, nil
+}
+
+// selectStream is the lazy tail of a streamable SELECT: it filters,
+// projects, and counts LIMIT/OFFSET row by row.
+type selectStream struct {
+	cx      *evalCtx
+	src     RowStream
+	sources []sourceInfo
+	where   Expr
+	cols    []Column
+	exprs   []Expr
+	offset  int // rows still to skip; <= 0 none
+	limit   int // rows still to emit; < 0 unlimited
+	n       int // rows pulled, for cancellation polling
+}
+
+func (ss *selectStream) Columns() []Column { return ss.cols }
+
+func (ss *selectStream) Next() (Row, error) {
+	if ss.limit == 0 {
+		return nil, io.EOF
+	}
+	for {
+		if err := ss.cx.checkCancel(ss.n); err != nil {
+			return nil, err
+		}
+		ss.n++
+		in, err := ss.src.Next()
+		if err != nil {
+			return nil, err // io.EOF included
+		}
+		sc := bindScope(ss.sources, in, nil)
+		rcx := ss.cx.withScope(sc)
+		if ss.where != nil {
+			ok, err := truthy(rcx, ss.where)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if ss.offset > 0 {
+			ss.offset--
+			continue
+		}
+		out := make(Row, len(ss.exprs))
+		for i, e := range ss.exprs {
+			v, err := evalExpr(rcx, e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		if ss.limit > 0 {
+			ss.limit--
+		}
+		return out, nil
+	}
+}
+
+func (ss *selectStream) Close() error { return ss.src.Close() }

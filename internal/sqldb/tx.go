@@ -1,0 +1,138 @@
+package sqldb
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Tx is a transaction handle over the engine's undo-journal transaction
+// machinery — the typed equivalent of BEGIN ... COMMIT/ROLLBACK SQL, sharing
+// the same txnState, journal, and WAL commit protocol. The engine's
+// transactions are database-wide: at most one explicit transaction is open
+// at a time (Begin returns ErrTxInProgress otherwise), and every write
+// statement — from any handle — joins it until Commit or Rollback.
+//
+// After Commit or Rollback, all methods return ErrTxDone. A transaction
+// finished out from under the handle (by SQL COMMIT/ROLLBACK text) is also
+// reported as ErrTxDone.
+type Tx struct {
+	db    *DB
+	state *txnState
+	done  atomic.Bool
+}
+
+// Begin opens an explicit transaction and returns its handle.
+func (db *DB) Begin() (*Tx, error) {
+	return db.BeginTx(context.Background())
+}
+
+// BeginTx is Begin honouring ctx. A cancelled context rejects the begin; it
+// does not auto-rollback later (call Rollback, e.g. via defer).
+func (db *DB) BeginTx(ctx context.Context) (*Tx, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	t, err := db.beginLocked()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{db: db, state: t}, nil
+}
+
+// Commit makes the transaction's changes permanent (WAL-fsynced on a
+// durable database). ErrTxDone if the transaction already finished.
+func (tx *Tx) Commit() error {
+	if !tx.done.CompareAndSwap(false, true) {
+		return ErrTxDone
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	return tx.db.commitLocked(tx.state)
+}
+
+// Rollback undoes every change made inside the transaction — journalled
+// rows, DDL, and registered OnRollback compensators. ErrTxDone if the
+// transaction already finished, so `defer tx.Rollback()` after a successful
+// Commit is harmless.
+func (tx *Tx) Rollback() error {
+	if !tx.done.CompareAndSwap(false, true) {
+		return ErrTxDone
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	return tx.db.rollbackLocked(tx.state)
+}
+
+// live returns ErrTxDone unless the handle's transaction is still the
+// open one — it also catches a transaction finished out from under the
+// handle by SQL COMMIT/ROLLBACK text, so a stale handle's statements never
+// silently join a later transaction. (A check-then-act race with a
+// concurrent finisher remains inherent to database-wide transactions.)
+func (tx *Tx) live() error {
+	if tx.done.Load() || !tx.db.txLive(tx.state) {
+		return ErrTxDone
+	}
+	return nil
+}
+
+// Exec runs a statement inside the transaction.
+func (tx *Tx) Exec(sql string, args ...any) (int, error) {
+	return tx.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext is Exec honouring ctx.
+func (tx *Tx) ExecContext(ctx context.Context, sql string, args ...any) (int, error) {
+	if err := tx.live(); err != nil {
+		return 0, err
+	}
+	return tx.db.ExecContext(ctx, sql, args...)
+}
+
+// Query runs a statement inside the transaction, materialized.
+func (tx *Tx) Query(sql string, args ...any) (*ResultSet, error) {
+	return tx.QueryContext(context.Background(), sql, args...)
+}
+
+// QueryContext is Query honouring ctx.
+func (tx *Tx) QueryContext(ctx context.Context, sql string, args ...any) (*ResultSet, error) {
+	if err := tx.live(); err != nil {
+		return nil, err
+	}
+	return tx.db.QueryContext(ctx, sql, args...)
+}
+
+// QueryRows runs a statement inside the transaction as a streaming
+// iterator. The stream reads a snapshot taken at execution, so it remains
+// valid across (and after) Commit or Rollback.
+func (tx *Tx) QueryRows(sql string, args ...any) (*RowIter, error) {
+	return tx.QueryRowsContext(context.Background(), sql, args...)
+}
+
+// QueryRowsContext is QueryRows honouring ctx.
+func (tx *Tx) QueryRowsContext(ctx context.Context, sql string, args ...any) (*RowIter, error) {
+	if err := tx.live(); err != nil {
+		return nil, err
+	}
+	return tx.db.QueryRowsContext(ctx, sql, args...)
+}
+
+// Prepare returns a prepared statement usable inside (and after) the
+// transaction; plans are transaction-independent.
+func (tx *Tx) Prepare(sql string) (*Stmt, error) {
+	return tx.PrepareContext(context.Background(), sql)
+}
+
+// PrepareContext is Prepare honouring ctx.
+func (tx *Tx) PrepareContext(ctx context.Context, sql string) (*Stmt, error) {
+	if err := tx.live(); err != nil {
+		return nil, err
+	}
+	return tx.db.PrepareContext(ctx, sql)
+}

@@ -363,7 +363,7 @@ func (db *DB) EnableDurability(dir string, o DurabilityOptions) error {
 		// pre-installed (e.g. an empty catalogue).
 		db.tables = newCatalog()
 		for _, stmt := range stmts {
-			if _, err := db.execLocked(stmt, nil, false); err != nil {
+			if _, err := db.execLocked(&evalCtx{db: db}, stmt); err != nil {
 				return fmt.Errorf("sql: restoring snapshot: %w", err)
 			}
 		}
@@ -443,7 +443,7 @@ func (db *DB) applyWALRecord(rec walRecord) error {
 		if err != nil {
 			return err
 		}
-		if _, err := db.execLocked(stmt, params, false); err != nil {
+		if _, err := db.execLocked(&evalCtx{db: db, params: params}, stmt); err != nil {
 			return fmt.Errorf("statement %q: %w", rec.SQL, err)
 		}
 		return nil
@@ -635,12 +635,16 @@ func (db *DB) Durable() bool {
 	return db.wal != nil
 }
 
-// Close flushes and detaches the write-ahead log (no-op for an in-memory
-// database). The DB remains usable afterwards, but new writes are no longer
-// logged.
+// Close shuts the database down: the write-ahead log (if any) is flushed
+// and detached, and every subsequent statement entry point returns
+// ErrClosed (errors.Is-able). Close is idempotent.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
 	if db.wal == nil {
 		return nil
 	}

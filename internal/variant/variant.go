@@ -274,6 +274,28 @@ func (v Value) String() string {
 	}
 }
 
+// Native returns the datum as its natural Go type: nil, bool, int64,
+// float64, string, or time.Time — the inverse of FromAny, and the shape
+// database/sql drivers hand to callers.
+func (v Value) Native() any {
+	switch v.kind {
+	case Null:
+		return nil
+	case Bool:
+		return v.b
+	case Int:
+		return v.i
+	case Float:
+		return v.f
+	case Text:
+		return v.s
+	case Time:
+		return v.t
+	default:
+		return nil
+	}
+}
+
 // SQLLiteral renders the value as a literal that re-parses to the same value.
 func (v Value) SQLLiteral() string {
 	switch v.kind {

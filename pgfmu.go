@@ -18,6 +18,29 @@
 // Calibrate, Simulate, ...). The MADlib-equivalent ML UDFs (arima_train,
 // logregr_train, ...) are installed alongside.
 //
+// # Standard-shaped execution API
+//
+// The execution surface follows the database/sql contract:
+//
+//   - Exec/Query plus ExecContext/QueryContext — context cancellation is
+//     honoured inside long row scans, fmu_simulate integration stepping,
+//     and fmu_parest search iterations.
+//   - QueryRows/QueryRowsContext return a streaming *RowIter
+//     (Next/Scan/Close): rows are produced on demand over a point-in-time
+//     snapshot, so LIMIT early-exits and large fmu_simulate results stream
+//     with bounded memory. Query remains the materializing wrapper.
+//   - Prepare/PrepareContext return a *Stmt holding the parsed plan,
+//     shareable across goroutines — the paper's "prepared SQL queries"
+//     without per-call parsing.
+//   - Begin/BeginTx return a *Tx handle (Commit/Rollback/Exec/Query/
+//     Prepare) over the engine's undo-journal transaction machinery.
+//   - Failures are errors.Is-able sentinels: ErrNoSuchTable,
+//     ErrNoSuchInstance, ErrNoSuchVariable, ErrTxDone, ErrClosed.
+//
+// The sibling package repro/driver wraps all of this as a database/sql
+// driver: sql.Open("pgfmu", "") for in-memory, sql.Open("pgfmu", dir) for a
+// crash-safe durable database. See docs/go-api.md.
+//
 // # Query performance
 //
 // Two engine features back the paper's in-DBMS performance claims:
@@ -48,6 +71,7 @@
 package pgfmu
 
 import (
+	"context"
 	"os"
 
 	"repro/internal/core"
@@ -64,6 +88,36 @@ type DB struct {
 
 // Rows is a materialized query result.
 type Rows = sqldb.ResultSet
+
+// RowIter is a streaming query result: a pull cursor with Next/Scan/Close
+// semantics that holds no database lock. See DB.QueryRows.
+type RowIter = sqldb.RowIter
+
+// Stmt is a prepared statement holding its parsed plan; safe for concurrent
+// use. See DB.Prepare.
+type Stmt = sqldb.Stmt
+
+// Tx is a transaction handle (Commit/Rollback/Exec/Query/Prepare). See
+// DB.Begin.
+type Tx = sqldb.Tx
+
+// Sentinel errors surfaced at the API boundary; test with errors.Is.
+var (
+	// ErrNoSuchTable reports a statement referencing an unknown table.
+	ErrNoSuchTable = sqldb.ErrNoSuchTable
+	// ErrNoSuchInstance reports an operation on an unknown model instance.
+	ErrNoSuchInstance = core.ErrNoSuchInstance
+	// ErrNoSuchVariable reports an operation on a variable the model does
+	// not declare.
+	ErrNoSuchVariable = core.ErrNoSuchVariable
+	// ErrTxDone reports use of a Tx that was already committed/rolled back.
+	ErrTxDone = sqldb.ErrTxDone
+	// ErrTxInProgress reports Begin while a transaction is already open
+	// (transactions are database-wide).
+	ErrTxInProgress = sqldb.ErrTxInProgress
+	// ErrClosed reports use of a closed DB or Stmt.
+	ErrClosed = sqldb.ErrClosed
+)
 
 // Value is a dynamically typed SQL datum.
 type Value = variant.Value
@@ -134,10 +188,11 @@ func Open(path string, opts ...Option) (*DB, error) {
 // errors on in-memory databases.
 func (db *DB) Checkpoint() error { return db.session.Checkpoint() }
 
-// Close flushes and detaches a durable database's write-ahead log (no-op
-// for in-memory databases). Abandoning a durable DB without Close is safe —
-// that is the crash the WAL exists for — but Close makes even
-// group-commit-deferred writes durable.
+// Close shuts the database down: a durable database's write-ahead log is
+// flushed and detached, and every subsequent statement returns ErrClosed.
+// Abandoning a durable DB without Close is safe — that is the crash the WAL
+// exists for — but Close makes even group-commit-deferred writes durable.
+// Close is idempotent.
 func (db *DB) Close() error { return db.session.Close() }
 
 // Exec runs a statement for its side effects; the int is the affected row
@@ -146,10 +201,61 @@ func (db *DB) Exec(sql string, args ...any) (int, error) {
 	return db.session.DB().Exec(sql, args...)
 }
 
-// Query runs a statement and returns its rows. Placeholders $1, $2, ...
-// bind args.
+// ExecContext is Exec honouring ctx: cancellation is observed inside long
+// row loops and context-aware UDFs (fmu_simulate stepping, fmu_parest
+// iterations), rolling the statement back.
+func (db *DB) ExecContext(ctx context.Context, sql string, args ...any) (int, error) {
+	return db.session.DB().ExecContext(ctx, sql, args...)
+}
+
+// Query runs a statement and returns its rows, fully materialized.
+// Placeholders $1, $2, ... bind args. For large results prefer QueryRows.
 func (db *DB) Query(sql string, args ...any) (*Rows, error) {
 	return db.session.DB().Query(sql, args...)
+}
+
+// QueryContext is Query honouring ctx.
+func (db *DB) QueryContext(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	return db.session.DB().QueryContext(ctx, sql, args...)
+}
+
+// QueryRows runs a statement and returns a streaming row iterator: rows are
+// produced on demand over a point-in-time snapshot (no lock is held), LIMIT
+// early-exits, and large fmu_simulate results never materialize. Close the
+// iterator when done.
+func (db *DB) QueryRows(sql string, args ...any) (*RowIter, error) {
+	return db.session.DB().QueryRows(sql, args...)
+}
+
+// QueryRowsContext is QueryRows honouring ctx: once cancelled, iteration
+// stops with the context's error.
+func (db *DB) QueryRowsContext(ctx context.Context, sql string, args ...any) (*RowIter, error) {
+	return db.session.DB().QueryRowsContext(ctx, sql, args...)
+}
+
+// Prepare parses sql once into a reusable *Stmt — the paper's "prepared SQL
+// queries avoid repeated reevaluation", as a handle. The Stmt shares the
+// engine's plan cache and is safe for concurrent use.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	return db.session.DB().Prepare(sql)
+}
+
+// PrepareContext is Prepare honouring ctx.
+func (db *DB) PrepareContext(ctx context.Context, sql string) (*Stmt, error) {
+	return db.session.DB().PrepareContext(ctx, sql)
+}
+
+// Begin opens an explicit transaction and returns its handle — the typed
+// equivalent of BEGIN ... COMMIT/ROLLBACK, layered on the engine's
+// undo-journal machinery. Transactions are database-wide: a second Begin
+// before Commit/Rollback returns ErrTxInProgress.
+func (db *DB) Begin() (*Tx, error) {
+	return db.session.DB().Begin()
+}
+
+// BeginTx is Begin honouring ctx.
+func (db *DB) BeginTx(ctx context.Context) (*Tx, error) {
+	return db.session.DB().BeginTx(ctx)
 }
 
 // SQL exposes the underlying engine (UDF registration, direct access).
@@ -243,9 +349,21 @@ func (db *DB) Calibrate(instanceIDs, inputSQLs, pars []string) ([]CalibrationRes
 	return db.session.Parest(instanceIDs, inputSQLs, pars)
 }
 
+// CalibrateContext is Calibrate honouring ctx: cancellation aborts the
+// search within one objective evaluation, the transaction rolls back, and
+// the instances keep their pre-call parameters.
+func (db *DB) CalibrateContext(ctx context.Context, instanceIDs, inputSQLs, pars []string) ([]CalibrationResult, error) {
+	return db.session.ParestContext(ctx, instanceIDs, inputSQLs, pars)
+}
+
 // Validate computes the hold-out RMSE of an instance's current parameters.
 func (db *DB) Validate(instanceID, inputSQL string, pars []string) (float64, error) {
 	return db.session.ValidateInstance(instanceID, inputSQL, pars)
+}
+
+// ValidateContext is Validate honouring ctx.
+func (db *DB) ValidateContext(ctx context.Context, instanceID, inputSQL string, pars []string) (float64, error) {
+	return db.session.ValidateInstanceContext(ctx, instanceID, inputSQL, pars)
 }
 
 // SimulateOptions mirrors fmu_simulate's optional arguments.
@@ -255,6 +373,12 @@ type SimulateOptions = core.SimulateRequest
 // (simulationTime, instanceId, varName, value).
 func (db *DB) Simulate(req SimulateOptions) (*Rows, error) {
 	return db.session.Simulate(req)
+}
+
+// SimulateContext is Simulate honouring ctx: cancellation is observed
+// during integration stepping, aborting a long simulation mid-run.
+func (db *DB) SimulateContext(ctx context.Context, req SimulateOptions) (*Rows, error) {
+	return db.session.SimulateContext(ctx, req)
 }
 
 // Save writes the entire environment — catalogue, FMU archives, and user
