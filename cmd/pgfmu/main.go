@@ -15,7 +15,8 @@
 //
 //	\q          quit
 //	\d          list tables
-//	\timing     toggle per-statement wall-clock reporting
+//	\timing     toggle per-statement timing (parse / plan / execute phases)
+//	\explain Q  show the physical plan for statement Q (shorthand for EXPLAIN Q)
 //	\i FILE     execute statements from FILE
 package main
 
@@ -52,7 +53,7 @@ func main() {
 	if path != "" && path != ":memory:" {
 		mode = "durable at " + path
 	}
-	fmt.Printf("pgFMU shell (%s) — FMU model management over SQL. \\q quits, \\d lists tables, \\timing toggles timing, \\i runs a file.\n", mode)
+	fmt.Printf("pgFMU shell (%s) — FMU model management over SQL. \\q quits, \\d lists tables, \\timing toggles timing, \\explain shows plans, \\i runs a file.\n", mode)
 
 	sh := &shell{db: db, out: os.Stdout}
 	sh.run(os.Stdin, true)
@@ -120,10 +121,17 @@ func (sh *shell) meta(cmd string) bool {
 	case `\timing`:
 		sh.timing = !sh.timing
 		if sh.timing {
-			fmt.Fprintln(sh.out, "Timing is on.")
+			fmt.Fprintln(sh.out, "Timing is on (parse / plan / execute).")
 		} else {
 			fmt.Fprintln(sh.out, "Timing is off.")
 		}
+	case `\explain`:
+		arg = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(arg), ";"))
+		if arg == "" {
+			fmt.Fprintln(sh.out, `\explain: missing statement argument`)
+			break
+		}
+		sh.explain(arg)
 	case `\i`:
 		arg = strings.TrimSpace(arg)
 		if arg == "" {
@@ -149,7 +157,21 @@ func (sh *shell) meta(cmd string) bool {
 	return false
 }
 
-// exec prepares and executes one statement, streaming the result.
+// explain prints the physical plan for one statement, unboxed.
+func (sh *shell) explain(sql string) {
+	rs, err := sh.db.Query("EXPLAIN " + sql)
+	if err != nil {
+		fmt.Fprintf(sh.out, "error: %v\n", err)
+		return
+	}
+	for _, row := range rs.Rows {
+		fmt.Fprintln(sh.out, row[0].String())
+	}
+}
+
+// exec prepares, plans, and executes one statement, streaming the result.
+// The three phases are timed separately so \timing can attribute cost to
+// parsing, physical planning, or execution.
 func (sh *shell) exec(sql string) {
 	sql = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
 	if sql == "" {
@@ -164,6 +186,12 @@ func (sh *shell) exec(sql string) {
 		return
 	}
 	defer stmt.Close()
+	parsed := time.Now()
+	if err := stmt.Plan(); err != nil {
+		fmt.Fprintf(sh.out, "error: %v\n", err)
+		return
+	}
+	planned := time.Now()
 	it, err := stmt.QueryRows()
 	if err != nil {
 		fmt.Fprintf(sh.out, "error: %v\n", err)
@@ -174,7 +202,10 @@ func (sh *shell) exec(sql string) {
 		return
 	}
 	if sh.timing {
-		fmt.Fprintf(sh.out, "Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
+		done := time.Now()
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		fmt.Fprintf(sh.out, "Time: parse %.3f ms, plan %.3f ms, execute %.3f ms (total %.3f ms)\n",
+			ms(parsed.Sub(start)), ms(planned.Sub(parsed)), ms(done.Sub(planned)), ms(done.Sub(start)))
 	}
 }
 

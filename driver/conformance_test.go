@@ -270,3 +270,58 @@ func TestConformanceSentinelErrors(t *testing.T) {
 		t.Fatalf("unknown instance: got %v, want ErrNoSuchInstance", err)
 	}
 }
+
+// TestConformanceExplainAnalyze drives the planner surface through
+// database/sql: ANALYZE as an Exec, EXPLAIN as a streamed query whose rows
+// reflect the access path, flipping from index probe to seq scan when the
+// index is dropped.
+func TestConformanceExplainAnalyze(t *testing.T) {
+	db, err := sql.Open("pgfmu", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	mustExecSQL := func(q string, args ...any) {
+		t.Helper()
+		if _, err := db.Exec(q, args...); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExecSQL(`CREATE TABLE planner_conf (k integer, v text)`)
+	for i := 0; i < 200; i++ {
+		mustExecSQL(`INSERT INTO planner_conf VALUES ($1, 'v')`, i)
+	}
+	mustExecSQL(`CREATE INDEX planner_conf_k ON planner_conf (k) USING hash`)
+	mustExecSQL(`ANALYZE planner_conf`)
+
+	plan := func() string {
+		t.Helper()
+		rows, err := db.Query(`EXPLAIN SELECT v FROM planner_conf WHERE k = $1`, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		var sb strings.Builder
+		for rows.Next() {
+			var line string
+			if err := rows.Scan(&line); err != nil {
+				t.Fatal(err)
+			}
+			sb.WriteString(line)
+			sb.WriteString("\n")
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	if p := plan(); !strings.Contains(p, "Index Scan using planner_conf_k") {
+		t.Fatalf("want index probe through database/sql, got:\n%s", p)
+	}
+	mustExecSQL(`DROP INDEX planner_conf_k`)
+	if p := plan(); !strings.Contains(p, "Seq Scan on planner_conf") || strings.Contains(p, "Index Scan") {
+		t.Fatalf("want seq scan after DROP INDEX, got:\n%s", p)
+	}
+}

@@ -226,6 +226,21 @@ type DeleteStmt struct {
 	Where Expr
 }
 
+// --- Planner statements ---
+
+// ExplainStmt is EXPLAIN <stmt>: plan the target statement without running
+// it and return the rendered plan, one line per row.
+type ExplainStmt struct {
+	Target Statement
+}
+
+// AnalyzeStmt is ANALYZE [table]: recompute planner statistics (row count
+// and per-column cardinality) for one table, or for every table when no name
+// is given.
+type AnalyzeStmt struct {
+	Table string // empty means all tables
+}
+
 // --- Transaction control ---
 
 // BeginStmt is BEGIN [WORK | TRANSACTION]: open an explicit transaction.
@@ -245,6 +260,8 @@ func (*DropIndexStmt) stmt()   {}
 func (*InsertStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}
+func (*AnalyzeStmt) stmt()     {}
 func (*BeginStmt) stmt()       {}
 func (*CommitStmt) stmt()      {}
 func (*RollbackStmt) stmt()    {}

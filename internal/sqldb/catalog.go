@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/variant"
 )
@@ -58,6 +59,13 @@ type Table struct {
 	Rows    []Row
 
 	indexes []*index
+
+	// stats is the latest ANALYZE snapshot (nil before the first one); it is
+	// replaced wholesale, never mutated. statMutations counts row churn since
+	// that snapshot, driving the automatic refresh (see stats.go). Both are
+	// written only under the DB's exclusive lock.
+	stats         *tableStats
+	statMutations int
 }
 
 func (t *Table) columnIndex(name string) int {
@@ -113,7 +121,18 @@ type catalog struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	indexes map[string]string // index name -> owning table name
+
+	// epoch counts catalogue-shape changes: CREATE/DROP TABLE/INDEX (and
+	// their rollback undos), ANALYZE, and planner-option changes. Cached
+	// physical plans record the epoch they were built at and are replanned
+	// when it moves — the invalidation protocol that keeps compiled plans
+	// (which pin table and index pointers and column offsets) from outliving
+	// the schema they were compiled against.
+	epoch atomic.Uint64
 }
+
+// bumpEpoch invalidates every cached physical plan.
+func (c *catalog) bumpEpoch() { c.epoch.Add(1) }
 
 func newCatalog() *catalog {
 	return &catalog{
@@ -142,6 +161,7 @@ func (c *catalog) create(t *Table, ifNotExists bool) (created bool, err error) {
 		return false, fmt.Errorf("sql: table %q already exists", t.Name)
 	}
 	c.tables[key] = t
+	c.bumpEpoch()
 	return true, nil
 }
 
@@ -163,6 +183,7 @@ func (c *catalog) drop(name string, ifExists bool) (*Table, error) {
 		delete(c.indexes, ix.name)
 	}
 	delete(c.tables, key)
+	c.bumpEpoch()
 	return t, nil
 }
 
@@ -175,6 +196,7 @@ func (c *catalog) restoreTable(t *Table) {
 	for _, ix := range t.indexes {
 		c.indexes[ix.name] = t.Name
 	}
+	c.bumpEpoch()
 }
 
 // createIndex validates, builds, and attaches a secondary index. created
@@ -216,6 +238,7 @@ func (c *catalog) createIndex(info IndexInfo, ifNotExists bool) (created bool, e
 	}
 	t.indexes = append(t.indexes, ix)
 	c.indexes[name] = t.Name
+	c.bumpEpoch()
 	return true, nil
 }
 
@@ -244,6 +267,7 @@ func (c *catalog) dropIndex(name string, ifExists bool) (*Table, *index, error) 
 		}
 	}
 	delete(c.indexes, key)
+	c.bumpEpoch()
 	return table, removed, nil
 }
 
@@ -254,6 +278,7 @@ func (c *catalog) attachIndex(t *Table, ix *index) {
 	defer c.mu.Unlock()
 	t.indexes = append(t.indexes, ix)
 	c.indexes[ix.name] = t.Name
+	c.bumpEpoch()
 }
 
 // indexInfos lists every index, ordered by (table, name) for deterministic

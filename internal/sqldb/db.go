@@ -28,13 +28,18 @@ type DB struct {
 	mu     sync.RWMutex
 	tables *catalog
 	funcs  *registry
-	// planCache caches parsed statements keyed by SQL text (the paper's
-	// "prepared SQL queries avoid repeated reevaluation"). Prepare holds the
-	// same parsed plan directly, skipping even the cache lookup. It is
-	// toggled by EnablePlanCache.
-	planCache   map[string]Statement
+	// planCache caches plan entries keyed by SQL text (the paper's "prepared
+	// SQL queries avoid repeated reevaluation"): the parsed statement plus
+	// its compiled physical plan, revalidated against the catalogue epoch on
+	// every execution (see plan.go). Prepare holds the same entry directly,
+	// skipping even the cache lookup. It is toggled by EnablePlanCache.
+	planCache   map[string]*cachedPlan
 	cachePlans  bool
 	planCacheMu sync.Mutex
+
+	// planner tunes physical planning (access-path choice, parallel scans);
+	// written only under the exclusive lock via SetPlannerOptions.
+	planner PlannerOptions
 
 	// txn is the open transaction: the explicit one between BEGIN and
 	// COMMIT/ROLLBACK (whether issued as SQL or through a Tx handle), or the
@@ -54,7 +59,7 @@ func New() *DB {
 	return &DB{
 		tables:     newCatalog(),
 		funcs:      newRegistry(),
-		planCache:  make(map[string]Statement),
+		planCache:  make(map[string]*cachedPlan),
 		cachePlans: true,
 	}
 }
@@ -67,7 +72,7 @@ func (db *DB) EnablePlanCache(on bool) {
 	defer db.planCacheMu.Unlock()
 	db.cachePlans = on
 	if !on {
-		db.planCache = make(map[string]Statement)
+		db.planCache = make(map[string]*cachedPlan)
 	}
 }
 
@@ -132,13 +137,14 @@ func (db *DB) HasTable(name string) bool {
 	return ok
 }
 
-// parse resolves SQL text to a parsed plan through the plan cache.
-func (db *DB) parse(sql string) (Statement, error) {
+// parse resolves SQL text to its plan-cache entry: the parsed statement
+// plus the slot where the compiled physical plan accumulates.
+func (db *DB) parse(sql string) (*cachedPlan, error) {
 	db.planCacheMu.Lock()
 	if db.cachePlans {
-		if stmt, ok := db.planCache[sql]; ok {
+		if cp, ok := db.planCache[sql]; ok {
 			db.planCacheMu.Unlock()
-			return stmt, nil
+			return cp, nil
 		}
 	}
 	db.planCacheMu.Unlock()
@@ -146,12 +152,18 @@ func (db *DB) parse(sql string) (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	cp := &cachedPlan{stmt: stmt}
 	db.planCacheMu.Lock()
 	if db.cachePlans {
-		db.planCache[sql] = stmt
+		if existing, ok := db.planCache[sql]; ok {
+			// A racer won: keep its entry (and any physical plan it holds).
+			cp = existing
+		} else {
+			db.planCache[sql] = cp
+		}
 	}
 	db.planCacheMu.Unlock()
-	return stmt, nil
+	return cp, nil
 }
 
 // Query runs a statement and returns its fully materialized result set.
@@ -199,7 +211,7 @@ func (db *DB) QueryRows(sql string, args ...any) (*RowIter, error) {
 // QueryRowsContext is QueryRows honouring ctx: iteration stops with the
 // context's error once it is cancelled.
 func (db *DB) QueryRowsContext(ctx context.Context, sql string, args ...any) (*RowIter, error) {
-	stmt, err := db.parse(sql)
+	cp, err := db.parse(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -207,12 +219,12 @@ func (db *DB) QueryRowsContext(ctx context.Context, sql string, args ...any) (*R
 	if err != nil {
 		return nil, err
 	}
-	return db.queryStmt(ctx, sql, stmt, params)
+	return db.queryStmt(ctx, sql, cp, params)
 }
 
 // queryStmt is the single executor entry point shared by QueryRowsContext,
 // prepared statements (stmt.go), and transaction handles (tx.go).
-func (db *DB) queryStmt(ctx context.Context, text string, stmt Statement, params []variant.Value) (*RowIter, error) {
+func (db *DB) queryStmt(ctx context.Context, text string, cp *cachedPlan, params []variant.Value) (*RowIter, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -220,14 +232,24 @@ func (db *DB) queryStmt(ctx context.Context, text string, stmt Statement, params
 		return nil, err
 	}
 	cx := &evalCtx{db: db, params: params, ctx: ctx}
-	if db.isReadOnly(stmt) {
-		sel := stmt.(*SelectStmt)
+	if db.isReadOnly(cp.stmt) {
 		db.mu.RLock()
 		if db.closed {
 			db.mu.RUnlock()
 			return nil, ErrClosed
 		}
-		st, err := db.selectStream(cx, sel)
+		var st RowStream
+		var err error
+		if ex, ok := cp.stmt.(*ExplainStmt); ok {
+			// EXPLAIN plans without executing; rendering needs only the
+			// shared lock.
+			var rs *ResultSet
+			if rs, err = db.explainLocked(ex); err == nil {
+				st = rs.Stream()
+			}
+		} else {
+			st, err = db.selectStream(cx, cp.stmt.(*SelectStmt), cp)
+		}
 		db.mu.RUnlock()
 		if err != nil {
 			return nil, err
@@ -239,31 +261,43 @@ func (db *DB) queryStmt(ctx context.Context, text string, stmt Statement, params
 	if db.closed {
 		return nil, ErrClosed
 	}
-	return db.execTop(cx, text, stmt)
+	return db.execTop(cx, text, cp)
 }
 
 // selectStream executes a SELECT under the held lock and returns its rows
-// as a stream. Streamable plans get a lazy tail that is safe to iterate
-// after the lock is released; everything else (aggregation, ordering,
-// joins, UDF-bearing expressions) is materialized before returning.
-func (db *DB) selectStream(cx *evalCtx, s *SelectStmt) (RowStream, error) {
-	if streamableSelect(s) {
-		return db.buildSelectStream(cx, s)
-	}
-	rs, err := execSelect(cx, s, nil)
+// as a stream, routed through the physical planner: compiled plans run
+// pull-based operators whose lazy tail is safe to iterate after the lock is
+// released, plans that stream but don't compile use the legacy two-phase
+// stream, and everything else (aggregation, ordering, joins, UDF-bearing
+// expressions) is materialized before returning. cp carries the physical
+// plan: cached (and epoch-revalidated) when the statement came through the
+// plan cache, or a throwaway entry for script/ad-hoc execution.
+func (db *DB) selectStream(cx *evalCtx, s *SelectStmt, cp *cachedPlan) (RowStream, error) {
+	plan, err := cp.physFor(db, s)
 	if err != nil {
 		return nil, err
 	}
-	return rs.Stream(), nil
+	switch plan.kind {
+	case physCompiled:
+		return plan.run(cx)
+	case physStream:
+		return db.buildSelectStream(cx, s)
+	default:
+		rs, err := execSelect(cx, s, nil)
+		if err != nil {
+			return nil, err
+		}
+		return rs.Stream(), nil
+	}
 }
 
 // execTop runs one top-level statement under the exclusive lock: it handles
 // transaction control, wraps standalone writes in an implicit transaction,
 // and commits to the WAL. The returned iterator's remaining work (if any)
 // is pure, so it is handed out after the transaction has committed.
-func (db *DB) execTop(cx *evalCtx, text string, stmt Statement) (*RowIter, error) {
+func (db *DB) execTop(cx *evalCtx, text string, cp *cachedPlan) (*RowIter, error) {
 	empty := func() *RowIter { return newRowIter(cx.ctx, NewSliceStream(nil, nil)) }
-	switch stmt.(type) {
+	switch cp.stmt.(type) {
 	case *BeginStmt:
 		if _, err := db.beginLocked(); err != nil {
 			return nil, err
@@ -290,7 +324,7 @@ func (db *DB) execTop(cx *evalCtx, text string, stmt Statement) (*RowIter, error
 	var st RowStream
 	err := db.runInTxn(func() error {
 		var serr error
-		st, serr = db.execStatement(cx, text, stmt)
+		st, serr = db.execStatement(cx, text, cp)
 		return serr
 	})
 	if err != nil {
@@ -332,6 +366,7 @@ func (db *DB) commitLocked(t *txnState) error {
 		return err
 	}
 	db.maybeAutoCheckpointLocked()
+	db.autoAnalyzeTouched(t)
 	return nil
 }
 
@@ -391,6 +426,7 @@ func (db *DB) runInTxn(fn func() error) error {
 		return werr
 	}
 	db.maybeAutoCheckpointLocked()
+	db.autoAnalyzeTouched(t)
 	return nil
 }
 
@@ -398,14 +434,15 @@ func (db *DB) runInTxn(fn func() error) error {
 // the open transaction (undo on error) and captures its WAL records: the
 // statement text when every referenced function is a builtin, otherwise the
 // physical row changes (see txn.go).
-func (db *DB) execStatement(cx *evalCtx, text string, stmt Statement) (RowStream, error) {
+func (db *DB) execStatement(cx *evalCtx, text string, cp *cachedPlan) (RowStream, error) {
+	stmt := cp.stmt
 	if isTxnControlStmt(stmt) {
 		return nil, fmt.Errorf("sql: transaction control is only valid as a top-level statement")
 	}
 	t := db.txn
 	if t == nil {
 		// Read path (shared lock) or recovery replay: nothing to journal.
-		return db.execStream(cx, stmt)
+		return db.execStream(cx, cp)
 	}
 	undoMark, pendMark := len(t.undo), len(t.pending)
 	logStmt := false
@@ -416,7 +453,7 @@ func (db *DB) execStatement(cx *evalCtx, text string, stmt Statement) (RowStream
 			cx.physLog = true
 		}
 	}
-	st, err := db.execStream(cx, stmt)
+	st, err := db.execStream(cx, cp)
 	if err != nil {
 		if len(t.undo) > undoMark || len(t.pending) > pendMark {
 			if uerr := t.unwind(db, undoMark, pendMark); uerr != nil {
@@ -432,22 +469,26 @@ func (db *DB) execStatement(cx *evalCtx, text string, stmt Statement) (RowStream
 }
 
 // execStream dispatches one parsed statement to its executor, as a stream.
-func (db *DB) execStream(cx *evalCtx, stmt Statement) (RowStream, error) {
-	if s, ok := stmt.(*SelectStmt); ok {
-		return db.selectStream(cx, s)
+func (db *DB) execStream(cx *evalCtx, cp *cachedPlan) (RowStream, error) {
+	if s, ok := cp.stmt.(*SelectStmt); ok {
+		return db.selectStream(cx, s, cp)
 	}
-	rs, err := db.execLocked(cx, stmt)
+	rs, err := db.execLocked(cx, cp.stmt)
 	if err != nil {
 		return nil, err
 	}
 	return rs.Stream(), nil
 }
 
-// isReadOnly reports whether a statement can run under the shared lock: a
-// SELECT whose every function reference is an aggregate, a builtin, or a
-// UDF registered as read-only. Anything else — DML, DDL, or a SELECT
-// invoking a UDF with possible side effects — requires the exclusive lock.
+// isReadOnly reports whether a statement can run under the shared lock: an
+// EXPLAIN (planning never executes), or a SELECT whose every function
+// reference is an aggregate, a builtin, or a UDF registered as read-only.
+// Anything else — DML, DDL, ANALYZE, or a SELECT invoking a UDF with
+// possible side effects — requires the exclusive lock.
 func (db *DB) isReadOnly(stmt Statement) bool {
+	if _, ok := stmt.(*ExplainStmt); ok {
+		return true
+	}
 	s, ok := stmt.(*SelectStmt)
 	if !ok {
 		return false
@@ -554,7 +595,7 @@ func (db *DB) QueryNested(sql string, args ...any) (*ResultSet, error) {
 // their statement context through so nested reads stop promptly on
 // cancellation.
 func (db *DB) QueryNestedContext(ctx context.Context, sql string, args ...any) (*ResultSet, error) {
-	stmt, err := db.parse(sql)
+	cp, err := db.parse(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -563,7 +604,7 @@ func (db *DB) QueryNestedContext(ctx context.Context, sql string, args ...any) (
 		return nil, err
 	}
 	cx := &evalCtx{db: db, params: params, ctx: ctx}
-	st, err := db.execStatement(cx, sql, stmt)
+	st, err := db.execStatement(cx, sql, cp)
 	if err != nil {
 		return nil, err
 	}
@@ -624,7 +665,7 @@ func (db *DB) ExecScript(sql string) (*ResultSet, error) {
 	}
 	var last *ResultSet
 	for i, stmt := range stmts {
-		it, err := db.execTop(&evalCtx{db: db}, texts[i], stmt)
+		it, err := db.execTop(&evalCtx{db: db}, texts[i], &cachedPlan{stmt: stmt})
 		if err != nil {
 			return nil, err
 		}
@@ -660,6 +701,10 @@ func (db *DB) execLocked(cx *evalCtx, stmt Statement) (*ResultSet, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		return execSelect(cx, s, nil)
+	case *ExplainStmt:
+		return db.explainLocked(s)
+	case *AnalyzeStmt:
+		return db.execAnalyze(s)
 	case *CreateTableStmt:
 		return db.execCreate(s)
 	case *DropTableStmt:
@@ -816,6 +861,7 @@ func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
 			count++
 		}
 	}
+	t.noteMutations(count)
 	// INSERT reports affected rows via one marker row per insert.
 	out := &ResultSet{Columns: []Column{{Name: "inserted", Type: "integer"}}}
 	for i := 0; i < count; i++ {
@@ -878,6 +924,7 @@ func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
 		}
 		count++
 	}
+	t.noteMutations(count)
 	out := &ResultSet{Columns: []Column{{Name: "updated", Type: "integer"}}}
 	for i := 0; i < count; i++ {
 		out.Rows = append(out.Rows, Row{variant.NewInt(1)})
@@ -929,6 +976,7 @@ func (db *DB) execDelete(cx *evalCtx, s *DeleteStmt) (*ResultSet, error) {
 			db.logWAL(walRecord{Op: "del", Table: t.Name, Del: removed})
 		}
 	}
+	t.noteMutations(deleted)
 	out := &ResultSet{Columns: []Column{{Name: "deleted", Type: "integer"}}}
 	for i := 0; i < deleted; i++ {
 		out.Rows = append(out.Rows, Row{variant.NewInt(1)})
@@ -974,6 +1022,7 @@ func (db *DB) InsertRow(table string, values ...any) error {
 		if err := t.insertIntoIndexes(len(t.Rows)-1, row); err != nil {
 			return err
 		}
+		t.noteMutations(1)
 		db.logWAL(walRecord{Op: "ins", Table: t.Name, Row: encodeWALValues(row)})
 		return nil
 	})

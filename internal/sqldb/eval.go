@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"regexp"
 	"strings"
 
 	"repro/internal/variant"
@@ -476,24 +475,13 @@ func castValue(v variant.Value, typ string) (variant.Value, error) {
 	}
 }
 
-// likeMatch compiles a SQL LIKE pattern (% and _) to a regexp.
+// likeMatch evaluates a SQL LIKE pattern (% and _) against s, sharing the
+// pattern translation with the compiled path (compile.go) so interpreted
+// and compiled LIKE can never diverge.
 func likeMatch(s, pattern string) (bool, error) {
-	var sb strings.Builder
-	sb.WriteString("^")
-	for _, r := range pattern {
-		switch r {
-		case '%':
-			sb.WriteString(".*")
-		case '_':
-			sb.WriteString(".")
-		default:
-			sb.WriteString(regexp.QuoteMeta(string(r)))
-		}
-	}
-	sb.WriteString("$")
-	re, err := regexp.Compile("(?s)" + sb.String())
+	re, err := compileLikePattern(pattern)
 	if err != nil {
-		return false, fmt.Errorf("sql: invalid LIKE pattern %q: %w", pattern, err)
+		return false, err
 	}
 	return re.MatchString(s), nil
 }

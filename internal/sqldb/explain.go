@@ -1,0 +1,383 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/variant"
+)
+
+// EXPLAIN rendering. EXPLAIN <stmt> plans the target without executing it
+// and returns one plan line per row (column "QUERY PLAN"), so access-path
+// choices are observable and testable. SELECT targets render their physical
+// plan — the compiled single-table pipeline when that is what would run,
+// otherwise the logical operator tree with the same access-path annotation
+// the materializing executor would use. DML targets render their write node
+// over the scan that feeds it.
+
+// explainLocked renders s.Target under the held database lock.
+func (db *DB) explainLocked(s *ExplainStmt) (*ResultSet, error) {
+	lines, err := db.explainStatement(s.Target)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Columns: []Column{{Name: "QUERY PLAN", Type: "text"}}}
+	for _, l := range lines {
+		rs.Rows = append(rs.Rows, Row{variant.NewText(l)})
+	}
+	return rs, nil
+}
+
+func (db *DB) explainStatement(st Statement) ([]string, error) {
+	r := &planRenderer{db: db}
+	switch s := st.(type) {
+	case *SelectStmt:
+		if err := r.renderSelect(s, 0); err != nil {
+			return nil, err
+		}
+	case *InsertStmt:
+		r.node(0, fmt.Sprintf("Insert on %s", strings.ToLower(s.Table)))
+		if s.Query != nil {
+			if err := r.renderSelect(s.Query, 1); err != nil {
+				return nil, err
+			}
+		} else {
+			r.node(1, fmt.Sprintf("Values (rows=%d)", len(s.Rows)))
+		}
+	case *UpdateStmt:
+		r.node(0, fmt.Sprintf("Update on %s", strings.ToLower(s.Table)))
+		r.renderWriteScan(s.Table, s.Where)
+	case *DeleteStmt:
+		r.node(0, fmt.Sprintf("Delete on %s", strings.ToLower(s.Table)))
+		r.renderWriteScan(s.Table, s.Where)
+	default:
+		return nil, fmt.Errorf("sql: cannot EXPLAIN %T", st)
+	}
+	return r.lines, nil
+}
+
+// planRenderer accumulates indented plan lines.
+type planRenderer struct {
+	db    *DB
+	lines []string
+}
+
+// node emits an operator line: the root is bare, children get an arrow.
+func (r *planRenderer) node(depth int, text string) {
+	if depth == 0 {
+		r.lines = append(r.lines, text)
+		return
+	}
+	r.lines = append(r.lines, strings.Repeat("  ", depth)+"-> "+text)
+}
+
+// detail emits an attribute line under the operator at depth.
+func (r *planRenderer) detail(depth int, text string) {
+	pad := strings.Repeat("  ", depth)
+	if depth > 0 {
+		pad += "   "
+	}
+	r.lines = append(r.lines, pad+"  "+text)
+}
+
+// renderSelect renders a SELECT's physical plan at the given depth.
+func (r *planRenderer) renderSelect(s *SelectStmt, depth int) error {
+	plan, err := r.db.planSelect(s)
+	if err != nil {
+		return err
+	}
+	if plan.kind == physCompiled {
+		r.renderCompiled(plan, depth)
+		return nil
+	}
+	return r.renderLogical(buildLogical(s), s, depth)
+}
+
+// renderCompiled renders the compiled single-table pipeline.
+func (r *planRenderer) renderCompiled(p *physPlan, depth int) {
+	s := p.sel
+	if s.Limit != nil || s.Offset != nil {
+		label := "Limit"
+		var parts []string
+		if s.Limit != nil {
+			parts = append(parts, exprString(s.Limit))
+		}
+		if s.Offset != nil {
+			parts = append(parts, "offset "+exprString(s.Offset))
+		}
+		r.node(depth, fmt.Sprintf("%s (%s)", label, strings.Join(parts, ", ")))
+		depth++
+	}
+	r.renderAccess(p.access, p.table.Name, p.alias, s.Where, p.parallel, p.workers, depth)
+}
+
+// renderAccess renders the scan leaf with its access-path annotation.
+func (r *planRenderer) renderAccess(ap accessPath, table, alias string, where Expr, parallel bool, workers, depth int) {
+	// "rows=" reports a live count; "rows≈" an ANALYZE-snapshot estimate.
+	rowsEq := "rows="
+	if ap.analyzed {
+		rowsEq = "rows≈"
+	}
+	name := table
+	if alias != "" && !strings.EqualFold(alias, table) {
+		name = table + " " + alias
+	}
+	switch ap.kind {
+	case accessIndexEq, accessIndexRange:
+		mode := "range"
+		if ap.kind == accessIndexEq {
+			mode = "equality"
+		}
+		r.node(depth, fmt.Sprintf("Index Scan using %s on %s  (%s %s, est rows≈%d of %d)",
+			ap.ix.name, name, ap.ix.kind, mode, int(ap.estRows+0.5), ap.tableRows))
+		r.detail(depth, "Index Cond: "+probeString(ap.probe))
+	default:
+		scan := "Seq Scan"
+		extra := ""
+		if parallel {
+			scan = "Parallel Seq Scan"
+			extra = fmt.Sprintf("workers=%d, ", workers)
+		}
+		r.node(depth, fmt.Sprintf("%s on %s  (%s%s%d)", scan, name, extra, rowsEq, ap.tableRows))
+	}
+	if where != nil {
+		r.detail(depth, "Filter: "+exprString(where))
+	}
+}
+
+// renderLogical renders the operator tree for plans that execute through the
+// legacy streaming or materializing executors. The scan leaf of a
+// single-table filtered query is annotated with the access path the
+// executor's shared chooser would pick.
+func (r *planRenderer) renderLogical(n logicalNode, s *SelectStmt, depth int) error {
+	switch x := n.(type) {
+	case *lLimit:
+		var parts []string
+		if x.limit != nil {
+			parts = append(parts, exprString(x.limit))
+		}
+		if x.offset != nil {
+			parts = append(parts, "offset "+exprString(x.offset))
+		}
+		r.node(depth, fmt.Sprintf("Limit (%s)", strings.Join(parts, ", ")))
+		return r.renderLogical(x.child, s, depth+1)
+	case *lDistinct:
+		r.node(depth, "Distinct")
+		return r.renderLogical(x.child, s, depth+1)
+	case *lSort:
+		keys := make([]string, len(x.keys))
+		for i, k := range x.keys {
+			keys[i] = exprString(k.Expr)
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		r.node(depth, "Sort (key: "+strings.Join(keys, ", ")+")")
+		return r.renderLogical(x.child, s, depth+1)
+	case *lProject:
+		// Projection is implicit in every plan; rendering it adds noise.
+		return r.renderLogical(x.child, s, depth)
+	case *lAggregate:
+		label := "Aggregate"
+		if len(x.groupBy) > 0 {
+			keys := make([]string, len(x.groupBy))
+			for i, g := range x.groupBy {
+				keys[i] = exprString(g)
+			}
+			label += " (group by: " + strings.Join(keys, ", ") + ")"
+		}
+		r.node(depth, label)
+		if x.having != nil {
+			r.detail(depth, "Having: "+exprString(x.having))
+		}
+		return r.renderLogical(x.child, s, depth+1)
+	case *lFilter:
+		// The filter annotates its scan leaf (single-table case) or renders
+		// the WHERE on the join node's input.
+		return r.renderFiltered(x, s, depth)
+	case *lJoin:
+		return r.renderJoin(x, s, depth)
+	case *lScan:
+		t, ok := r.db.tables.get(x.item.Table)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoSuchTable, x.item.Table)
+		}
+		ap := chooseAccessPath(r.db, t, "", nil)
+		r.renderAccess(ap, t.Name, strings.ToLower(x.alias), nil, false, 0, depth)
+		return nil
+	case *lFuncScan:
+		r.node(depth, fmt.Sprintf("Function Scan on %s", strings.ToLower(x.alias)))
+		return nil
+	case *lSubquery:
+		r.node(depth, fmt.Sprintf("Subquery Scan on %s", strings.ToLower(x.alias)))
+		return r.renderLogical(x.plan, x.item.Sub, depth+1)
+	case *lValues:
+		r.node(depth, "Result (one row)")
+		return nil
+	}
+	return fmt.Errorf("sql: cannot render plan node %T", n)
+}
+
+// renderFiltered renders filter-over-source, folding the predicate into a
+// single-table scan leaf with its chosen access path.
+func (r *planRenderer) renderFiltered(f *lFilter, s *SelectStmt, depth int) error {
+	if scan, ok := f.child.(*lScan); ok {
+		t, found := r.db.tables.get(scan.item.Table)
+		if !found {
+			return fmt.Errorf("%w: %q", ErrNoSuchTable, scan.item.Table)
+		}
+		alias := strings.ToLower(scan.alias)
+		ap := chooseAccessPath(r.db, t, alias, f.pred)
+		r.renderAccess(ap, t.Name, alias, f.pred, false, 0, depth)
+		return nil
+	}
+	// Joined input: the filter applies to the joined rows.
+	r.node(depth, "Filter: "+exprString(f.pred))
+	return r.renderLogical(f.child, s, depth+1)
+}
+
+func (r *planRenderer) renderJoin(j *lJoin, s *SelectStmt, depth int) error {
+	kind := "cross"
+	switch j.kind {
+	case JoinInner:
+		kind = "inner"
+	case JoinLeft:
+		kind = "left"
+	}
+	label := fmt.Sprintf("Nested Loop (%s join", kind)
+	if j.lateral {
+		label += ", lateral"
+	}
+	label += ")"
+	r.node(depth, label)
+	if j.on != nil {
+		r.detail(depth, "Join Cond: "+exprString(j.on))
+	}
+	if err := r.renderLogical(j.left, s, depth+1); err != nil {
+		return err
+	}
+	return r.renderLogical(j.right, s, depth+1)
+}
+
+// renderWriteScan renders the scan feeding an UPDATE/DELETE. Writes always
+// walk the heap (index maintenance happens per row), so the leaf is honest
+// about being sequential.
+func (r *planRenderer) renderWriteScan(table string, where Expr) {
+	t, ok := r.db.tables.get(table)
+	if !ok {
+		r.node(1, fmt.Sprintf("Seq Scan on %s", strings.ToLower(table)))
+		return
+	}
+	ap := chooseAccessPath(r.db, t, "", nil)
+	r.renderAccess(ap, t.Name, "", where, false, 0, 1)
+}
+
+// probeString renders an index probe condition.
+func probeString(p *indexProbe) string {
+	if p.eq != nil {
+		return fmt.Sprintf("%s = %s", p.column, exprString(p.eq))
+	}
+	var parts []string
+	if p.lo != nil {
+		op := ">"
+		if p.loInc {
+			op = ">="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", p.column, op, exprString(p.lo)))
+	}
+	if p.hi != nil {
+		op := "<"
+		if p.hiInc {
+			op = "<="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", p.column, op, exprString(p.hi)))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// exprString renders an expression for plan output (round-trippable for the
+// common cases, compact otherwise).
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *Literal:
+		return x.Value.SQLLiteral()
+	case *Param:
+		return fmt.Sprintf("$%d", x.Index)
+	case *ColumnRef:
+		if x.Table != "" {
+			return x.Table + "." + x.Name
+		}
+		return x.Name
+	case *BinaryExpr:
+		op := x.Op
+		if op == "and" || op == "or" {
+			op = strings.ToUpper(op)
+		}
+		return "(" + exprString(x.L) + " " + op + " " + exprString(x.R) + ")"
+	case *UnaryExpr:
+		if x.Op == "not" {
+			return "NOT " + exprString(x.X)
+		}
+		return x.Op + exprString(x.X)
+	case *FuncExpr:
+		if x.Star {
+			return strings.ToLower(x.Name) + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprString(a)
+		}
+		prefix := ""
+		if x.Distinct {
+			prefix = "DISTINCT "
+		}
+		return strings.ToLower(x.Name) + "(" + prefix + strings.Join(args, ", ") + ")"
+	case *CastExpr:
+		return exprString(x.X) + "::" + x.Type
+	case *InExpr:
+		items := make([]string, len(x.List))
+		for i, it := range x.List {
+			items[i] = exprString(it)
+		}
+		op := " IN "
+		if x.Not {
+			op = " NOT IN "
+		}
+		return exprString(x.X) + op + "(" + strings.Join(items, ", ") + ")"
+	case *IsNullExpr:
+		if x.Not {
+			return exprString(x.X) + " IS NOT NULL"
+		}
+		return exprString(x.X) + " IS NULL"
+	case *LikeExpr:
+		op := " LIKE "
+		if x.Not {
+			op = " NOT LIKE "
+		}
+		return exprString(x.X) + op + exprString(x.Pattern)
+	case *BetweenExpr:
+		op := " BETWEEN "
+		if x.Not {
+			op = " NOT BETWEEN "
+		}
+		return exprString(x.X) + op + exprString(x.Lo) + " AND " + exprString(x.Hi)
+	case *CaseExpr:
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			sb.WriteString(" " + exprString(x.Operand))
+		}
+		for _, w := range x.Whens {
+			sb.WriteString(" WHEN " + exprString(w.When) + " THEN " + exprString(w.Then))
+		}
+		if x.Else != nil {
+			sb.WriteString(" ELSE " + exprString(x.Else))
+		}
+		sb.WriteString(" END")
+		return sb.String()
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

@@ -2,7 +2,6 @@ package sqldb
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -355,11 +354,14 @@ func matchProbe(e Expr, alias string) *indexProbe {
 }
 
 // tryIndexScan resolves a single-table SELECT's FROM through a secondary
-// index when the WHERE clause contains an indexable conjunct. It returns a
-// candidate superset of the matching rows (in table order) — the caller
-// still applies the full WHERE — or ok=false to fall back to a scan.
-// Any difficulty (type mismatch, no usable index) falls back rather than
-// erroring, so behaviour is identical to the scan path.
+// index when the cost-based access-path chooser (plan.go) decides a probe
+// beats a full scan. It returns a candidate superset of the matching rows
+// (in table order) — the caller still applies the full WHERE — or ok=false
+// to fall back to a scan. Any difficulty (type mismatch, no usable index)
+// falls back rather than erroring, so behaviour is identical to the scan
+// path. Both the materializing executor (exec.go) and the legacy streaming
+// path (stream.go) route through here, so every execution strategy obeys
+// the same planner decision.
 func tryIndexScan(cx *evalCtx, s *SelectStmt) ([]Row, sourceInfo, bool) {
 	if len(s.From) != 1 || s.Where == nil {
 		return nil, sourceInfo{}, false
@@ -377,42 +379,13 @@ func tryIndexScan(cx *evalCtx, s *SelectStmt) ([]Row, sourceInfo, bool) {
 		alias = strings.ToLower(item.Table)
 	}
 
-	var probes []*indexProbe
-	for _, conj := range splitConjuncts(s.Where, nil) {
-		if p := matchProbe(conj, alias); p != nil {
-			probes = append(probes, p)
-		}
-	}
-	if len(probes) == 0 {
+	ap := chooseAccessPath(cx.db, t, alias, s.Where)
+	rows, ok := ap.lookupRows(cx, t)
+	if !ok {
 		return nil, sourceInfo{}, false
 	}
-
-	// Prefer equality probes (exact bucket) over ranges.
-	sort.SliceStable(probes, func(i, j int) bool {
-		return probes[i].eq != nil && probes[j].eq == nil
-	})
-	for _, p := range probes {
-		ix := t.findIndex(p.column, p.eq == nil)
-		if ix == nil {
-			continue
-		}
-		positions, ok := probeIndex(cx, t, ix, p)
-		if !ok {
-			continue
-		}
-		// lookupEqual returns the index's backing slice; sort a copy — this
-		// runs under the shared lock, and sorting in place would race with
-		// concurrent readers of the same bucket.
-		positions = append([]int(nil), positions...)
-		sort.Ints(positions)
-		rows := make([]Row, len(positions))
-		for i, pos := range positions {
-			rows[i] = t.Rows[pos]
-		}
-		info := sourceInfo{alias: alias, columns: t.Columns, width: len(t.Columns)}
-		return rows, info, true
-	}
-	return nil, sourceInfo{}, false
+	info := sourceInfo{alias: alias, columns: t.Columns, width: len(t.Columns)}
+	return rows, info, true
 }
 
 // probeIndex evaluates a probe's constant expressions, coerces them to the

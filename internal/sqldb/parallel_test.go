@@ -1,0 +1,169 @@
+package sqldb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parallelDB builds a table big enough to trigger partitioned scans under
+// the pinned planner options.
+func parallelDB(t testing.TB, rows int) *DB {
+	t.Helper()
+	db := New()
+	db.SetPlannerOptions(PlannerOptions{MaxScanWorkers: 4, ParallelMinRows: 1000})
+	if _, err := db.Exec(`CREATE TABLE par (id integer, val float, tag text)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := db.InsertRow("par", i, float64(i%1000)/10, fmt.Sprintf("t%d", i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec(`ANALYZE par`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// sortedKeys renders a result as an order-insensitive multiset fingerprint.
+func sortedKeys(rs *ResultSet) []string {
+	keys := make([]string, len(rs.Rows))
+	for i, r := range rs.Rows {
+		var sb strings.Builder
+		for _, v := range r {
+			sb.WriteString(v.String())
+			sb.WriteByte('|')
+		}
+		keys[i] = sb.String()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestParallelScanParity: the partitioned scan must return exactly the
+// serial scan's multiset (order may differ).
+func TestParallelScanParity(t *testing.T) {
+	db := parallelDB(t, 20000)
+	query := `SELECT id, tag FROM par WHERE val < 42 AND tag = 't3'`
+
+	out := explainText(t, db, `EXPLAIN `+query)
+	if !strings.Contains(out, "Parallel Seq Scan") {
+		t.Fatalf("setup should plan a parallel scan:\n%s", out)
+	}
+	par, err := db.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db.SetPlannerOptions(PlannerOptions{MaxScanWorkers: 1})
+	ser, err := db.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Rows) == 0 {
+		t.Fatal("query should match rows")
+	}
+	pk, sk := sortedKeys(par), sortedKeys(ser)
+	if len(pk) != len(sk) {
+		t.Fatalf("parallel %d rows vs serial %d", len(pk), len(sk))
+	}
+	for i := range pk {
+		if pk[i] != sk[i] {
+			t.Fatalf("row multiset diverges at %d: %q vs %q", i, pk[i], sk[i])
+		}
+	}
+}
+
+// TestParallelScanErrorPropagation: a predicate that fails on one row (in
+// one partition) must surface the error through the iterator, not hang or
+// drop it.
+func TestParallelScanErrorPropagation(t *testing.T) {
+	db := parallelDB(t, 20000)
+	// id = 15000 divides by zero inside worker territory.
+	it, err := db.QueryRows(`SELECT id FROM par WHERE 1 / (id - 15000) >= 0 AND val >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	for it.Next() {
+	}
+	if it.Err() == nil || !strings.Contains(it.Err().Error(), "division by zero") {
+		t.Fatalf("want division-by-zero from a worker, got %v", it.Err())
+	}
+}
+
+// TestParallelScanEarlyClose: closing mid-iteration stops the pool without
+// deadlock and the iterator stays closed.
+func TestParallelScanEarlyClose(t *testing.T) {
+	db := parallelDB(t, 20000)
+	it, err := db.QueryRows(`SELECT id FROM par WHERE val >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.Next() {
+		t.Fatalf("no first row: %v", it.Err())
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if it.Next() {
+		t.Fatal("Next after Close should report false")
+	}
+}
+
+// TestParallelScanCancellation: cancelling the statement context stops a
+// partitioned scan promptly with the context's error.
+func TestParallelScanCancellation(t *testing.T) {
+	db := parallelDB(t, 20000)
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := db.QueryRowsContext(ctx, `SELECT id FROM par WHERE val >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if !it.Next() {
+		t.Fatalf("no first row: %v", it.Err())
+	}
+	cancel()
+	for it.Next() {
+	}
+	if !errors.Is(it.Err(), context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", it.Err())
+	}
+}
+
+// TestParallelScanWritersAfterSnapshot: rows inserted while a parallel
+// iterator is open do not appear in it (point-in-time snapshot), and the
+// writer is not blocked.
+func TestParallelScanWritersAfterSnapshot(t *testing.T) {
+	db := parallelDB(t, 20000)
+	it, err := db.QueryRows(`SELECT id FROM par WHERE val >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if _, err := db.Exec(`INSERT INTO par VALUES (999999, 1.0, 'late')`); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for it.Next() {
+		var id int
+		if err := it.Scan(&id); err != nil {
+			t.Fatal(err)
+		}
+		if id == 999999 {
+			t.Fatal("snapshot leaked a post-open insert")
+		}
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 20000 {
+		t.Fatalf("got %d rows, want 20000", n)
+	}
+}

@@ -150,6 +150,19 @@ func (p *sqlParser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case "delete":
 		return p.parseDelete()
+	case "explain":
+		return p.parseExplain()
+	case "analyze":
+		p.next()
+		s := &AnalyzeStmt{}
+		if t := p.cur(); t.kind == tIdent || t.kind == tQuoted {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Table = name
+		}
+		return s, nil
 	case "begin":
 		p.next()
 		p.acceptTxnNoiseWord()
@@ -164,6 +177,26 @@ func (p *sqlParser) parseStatement() (Statement, error) {
 		return &RollbackStmt{}, nil
 	default:
 		return nil, parseErr(t.pos, "unsupported statement %s", t)
+	}
+}
+
+// parseExplain parses EXPLAIN <stmt>. The target must be a plannable
+// statement: SELECT or DML. EXPLAIN EXPLAIN and transaction control are
+// rejected.
+func (p *sqlParser) parseExplain() (Statement, error) {
+	if err := p.expectKeyword("explain"); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	target, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	switch target.(type) {
+	case *SelectStmt, *InsertStmt, *UpdateStmt, *DeleteStmt:
+		return &ExplainStmt{Target: target}, nil
+	default:
+		return nil, parseErr(t.pos, "EXPLAIN supports SELECT, INSERT, UPDATE, and DELETE")
 	}
 }
 

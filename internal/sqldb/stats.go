@@ -1,0 +1,152 @@
+package sqldb
+
+import "fmt"
+
+// Planner statistics. ANALYZE (or the automatic refresh that fires once a
+// table has churned past a mutation threshold) walks a table once and
+// records its row count and the number of distinct non-NULL values per
+// column. The cost-based access-path chooser (plan.go) reads the snapshot to
+// estimate how many rows an index probe would return; a table that has never
+// been analyzed falls back to its live row count and default selectivities.
+//
+// Statistics are advisory, not transactional: they are not journalled, not
+// WAL-logged, and survive a rollback unchanged — a stale estimate can only
+// produce a slower plan, never a wrong result, because every access path
+// re-verifies the full WHERE clause.
+
+// tableStats is one ANALYZE snapshot. The struct is immutable once
+// published on Table.stats (writers replace the pointer wholesale under the
+// exclusive lock; readers under the shared lock), so plans may keep reading
+// a snapshot they captured without synchronization.
+type tableStats struct {
+	// rowCount is the table's row count at ANALYZE time.
+	rowCount int
+	// distinct maps column position to the number of distinct non-NULL
+	// values observed at ANALYZE time.
+	distinct []int
+}
+
+// distinctFor returns the analyzed cardinality of column col, or 0 when
+// unknown.
+func (st *tableStats) distinctFor(col int) int {
+	if st == nil || col < 0 || col >= len(st.distinct) {
+		return 0
+	}
+	return st.distinct[col]
+}
+
+// autoAnalyzeMinMutations is the minimum row churn (inserts + updates +
+// deletes since the last snapshot) before the automatic refresh considers a
+// table, and autoAnalyzeFraction is the churn fraction of the analyzed row
+// count that triggers it — mirroring autovacuum's threshold + scale factor.
+const (
+	autoAnalyzeMinMutations = 512
+	autoAnalyzeFraction     = 5 // refresh when churn ≥ rowCount/5 (20%)
+)
+
+// computeTableStats scans t once and builds a fresh snapshot. Caller holds
+// the exclusive lock.
+func computeTableStats(t *Table) *tableStats {
+	st := &tableStats{
+		rowCount: len(t.Rows),
+		distinct: make([]int, len(t.Columns)),
+	}
+	seen := make(map[string]struct{})
+	for ci := range t.Columns {
+		clear(seen)
+		for _, row := range t.Rows {
+			v := row[ci]
+			if v.IsNull() {
+				continue
+			}
+			seen[hashKey(v)] = struct{}{}
+		}
+		st.distinct[ci] = len(seen)
+	}
+	return st
+}
+
+// analyzeTableLocked refreshes t's statistics and invalidates cached plans
+// (their cost estimates are now stale). Caller holds the exclusive lock.
+func (db *DB) analyzeTableLocked(t *Table) {
+	t.stats = computeTableStats(t)
+	t.statMutations = 0
+	db.tables.bumpEpoch()
+}
+
+// execAnalyze runs ANALYZE [table] under the exclusive lock.
+func (db *DB) execAnalyze(s *AnalyzeStmt) (*ResultSet, error) {
+	if s.Table != "" {
+		t, ok := db.tables.get(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, s.Table)
+		}
+		db.analyzeTableLocked(t)
+		return &ResultSet{}, nil
+	}
+	for _, name := range db.tables.names() {
+		if t, ok := db.tables.get(name); ok {
+			db.analyzeTableLocked(t)
+		}
+	}
+	return &ResultSet{}, nil
+}
+
+// noteMutations records row churn against t's statistics. Caller holds the
+// exclusive lock.
+func (t *Table) noteMutations(n int) {
+	if n > 0 {
+		t.statMutations += n
+	}
+}
+
+// maybeAutoAnalyze refreshes t's statistics when its churn since the last
+// snapshot crosses the threshold. Called after a transaction commits, under
+// the exclusive lock, for each table the transaction touched — so bulk loads
+// pick up statistics without an explicit ANALYZE, at amortized O(rows) cost.
+func (db *DB) maybeAutoAnalyze(t *Table) {
+	if t.statMutations < autoAnalyzeMinMutations {
+		return
+	}
+	if t.stats != nil && t.statMutations*autoAnalyzeFraction < t.stats.rowCount {
+		return
+	}
+	db.analyzeTableLocked(t)
+}
+
+// autoAnalyzeTouched runs the automatic refresh over every table a
+// just-committed transaction touched. Caller holds the exclusive lock.
+func (db *DB) autoAnalyzeTouched(t *txnState) {
+	for tb := range t.touched {
+		db.maybeAutoAnalyze(tb)
+	}
+}
+
+// Analyze refreshes planner statistics through the typed API: one table, or
+// every table when name is empty.
+func (db *DB) Analyze(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	_, err := db.execAnalyze(&AnalyzeStmt{Table: name})
+	return err
+}
+
+// TableStats reports the analyzed statistics for a table: its row count at
+// ANALYZE time and each column's distinct-value count. ok is false when the
+// table does not exist or has never been analyzed.
+func (db *DB) TableStats(name string) (rowCount int, distinct map[string]int, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, found := db.tables.get(name)
+	if !found || t.stats == nil {
+		return 0, nil, false
+	}
+	distinct = make(map[string]int, len(t.Columns))
+	for i, c := range t.Columns {
+		distinct[c.Name] = t.stats.distinctFor(i)
+	}
+	return t.stats.rowCount, distinct, true
+}

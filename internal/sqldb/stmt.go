@@ -7,13 +7,16 @@ import (
 
 // Stmt is a prepared statement: the parsed plan is resolved once at Prepare
 // time and reused by every execution, skipping the parser and even the
-// text-keyed plan-cache lookup on the hot path. A Stmt is safe for
-// concurrent use by multiple goroutines — the plan is immutable and every
-// execution binds its own parameters.
+// text-keyed plan-cache lookup on the hot path. The entry also carries the
+// compiled physical plan, which executions revalidate against the catalogue
+// epoch — DDL, ANALYZE, or planner-option changes force a transparent
+// replan (see plan.go). A Stmt is safe for concurrent use by multiple
+// goroutines — the parsed statement is immutable, the physical-plan slot is
+// atomic, and every execution binds its own parameters.
 type Stmt struct {
 	db     *DB
 	text   string
-	stmt   Statement
+	cp     *cachedPlan
 	closed atomic.Bool
 }
 
@@ -38,11 +41,11 @@ func (db *DB) PrepareContext(ctx context.Context, sql string) (*Stmt, error) {
 	if closed {
 		return nil, ErrClosed
 	}
-	stmt, err := db.parse(sql)
+	cp, err := db.parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, text: sql, stmt: stmt}, nil
+	return &Stmt{db: db, text: sql, cp: cp}, nil
 }
 
 // Query executes the prepared statement and materializes its rows.
@@ -73,7 +76,28 @@ func (s *Stmt) QueryRowsContext(ctx context.Context, args ...any) (*RowIter, err
 	if err != nil {
 		return nil, err
 	}
-	return s.db.queryStmt(ctx, s.text, s.stmt, params)
+	return s.db.queryStmt(ctx, s.text, s.cp, params)
+}
+
+// Plan resolves (or revalidates) the statement's physical plan without
+// executing it, so callers can observe planning cost separately from
+// execution — the pgfmu shell's \timing uses it to report parse / plan /
+// execute phases. It is a no-op for statements that are not SELECTs.
+func (s *Stmt) Plan() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	sel, ok := s.cp.stmt.(*SelectStmt)
+	if !ok {
+		return nil
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	if s.db.closed {
+		return ErrClosed
+	}
+	_, err := s.cp.physFor(s.db, sel)
+	return err
 }
 
 // Exec executes the prepared statement for its side effects, returning the

@@ -41,7 +41,7 @@ var sqlKeywords = map[string]bool{
 	"when": true, "then": true, "else": true, "end": true, "cast": true,
 	"distinct": true, "begin": true, "commit": true, "rollback": true,
 	"prepare": true, "execute": true, "default": true,
-	"index": true, "using": true,
+	"index": true, "using": true, "explain": true, "analyze": true,
 }
 
 type sqlToken struct {

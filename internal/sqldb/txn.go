@@ -72,6 +72,12 @@ func (t *txnState) unwind(db *DB, undoMark, pendMark int) error {
 		if err := tb.rebuildIndexes(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		// Unwound churn must not count toward the auto-ANALYZE threshold:
+		// the rows are back to their prior state, and a spurious refresh is
+		// an O(rows) scan inside a later commit. Resetting (rather than
+		// subtracting the unwound share) only delays a refresh, and
+		// statistics are advisory.
+		tb.statMutations = 0
 	}
 	return firstErr
 }

@@ -435,7 +435,7 @@ func removeStaleWALs(dir string, liveGen int) {
 func (db *DB) applyWALRecord(rec walRecord) error {
 	switch rec.Op {
 	case "stmt":
-		stmt, err := db.parse(rec.SQL)
+		cp, err := db.parse(rec.SQL)
 		if err != nil {
 			return fmt.Errorf("statement %q: %w", rec.SQL, err)
 		}
@@ -443,7 +443,7 @@ func (db *DB) applyWALRecord(rec walRecord) error {
 		if err != nil {
 			return err
 		}
-		if _, err := db.execLocked(&evalCtx{db: db, params: params}, stmt); err != nil {
+		if _, err := db.execLocked(&evalCtx{db: db, params: params}, cp.stmt); err != nil {
 			return fmt.Errorf("statement %q: %w", rec.SQL, err)
 		}
 		return nil

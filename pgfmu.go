@@ -287,6 +287,22 @@ func (db *DB) Indexes() []IndexInfo {
 	return db.session.DB().Indexes()
 }
 
+// PlannerOptions tune the engine's cost-based physical planner (access-path
+// choice, parallel partitioned scans). See sqldb.PlannerOptions.
+type PlannerOptions = sqldb.PlannerOptions
+
+// SetPlannerOptions installs planner tuning and invalidates cached plans.
+func (db *DB) SetPlannerOptions(o PlannerOptions) {
+	db.session.DB().SetPlannerOptions(o)
+}
+
+// Analyze refreshes the planner statistics (row counts and per-column
+// cardinalities) for one table, or for every table when name is empty —
+// the typed equivalent of the ANALYZE statement.
+func (db *DB) Analyze(table string) error {
+	return db.session.DB().Analyze(table)
+}
+
 // Session exposes the pgFMU core for advanced use.
 func (db *DB) Session() *core.Session { return db.session }
 
