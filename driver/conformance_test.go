@@ -325,3 +325,81 @@ func TestConformanceExplainAnalyze(t *testing.T) {
 		t.Fatalf("want seq scan after DROP INDEX, got:\n%s", p)
 	}
 }
+
+// TestConformanceJoinAggregate drives the analytical statement class — hash
+// joins, streaming GROUP BY, ORDER BY/LIMIT — through database/sql: results
+// stream row by row, EXPLAIN shows the streaming operator nodes, and a LEFT
+// JOIN's NULL pads surface as sql.NullString.
+func TestConformanceJoinAggregate(t *testing.T) {
+	db, err := sql.Open("pgfmu", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	mustExecSQL := func(q string, args ...any) {
+		t.Helper()
+		if _, err := db.Exec(q, args...); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExecSQL(`CREATE TABLE runs (id integer, model integer, err float)`)
+	mustExecSQL(`CREATE TABLE models (id integer, name text)`)
+	for i := 0; i < 300; i++ {
+		mustExecSQL(`INSERT INTO runs VALUES ($1, $2, $3)`, i, i%4, float64(i)/100)
+	}
+	mustExecSQL(`INSERT INTO models VALUES (0, 'hp'), (1, 'room'), (2, 'tank')`) // model 3 dangles
+
+	// Grouped join through the standard interface.
+	rows, err := db.Query(`SELECT m.name, count(*), avg(r.err) FROM runs r JOIN models m ON r.model = m.id GROUP BY m.name ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for rows.Next() {
+		var name string
+		var n int
+		var avg float64
+		if err := rows.Scan(&name, &n, &avg); err != nil {
+			t.Fatal(err)
+		}
+		if n != 75 {
+			t.Fatalf("group %s count = %d, want 75", name, n)
+		}
+		names = append(names, name)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	if strings.Join(names, ",") != "hp,room,tank" {
+		t.Fatalf("groups = %v", names)
+	}
+
+	// LEFT JOIN null pads scan as sql.NullString.
+	var nullName sql.NullString
+	if err := db.QueryRow(`SELECT m.name FROM runs r LEFT JOIN models m ON r.model = m.id WHERE r.model = 3 LIMIT 1`).Scan(&nullName); err != nil {
+		t.Fatal(err)
+	}
+	if nullName.Valid {
+		t.Fatalf("dangling model should be NULL, got %q", nullName.String)
+	}
+
+	// The plan behind the statement shows the streaming operators.
+	prows, err := db.Query(`EXPLAIN SELECT m.name, count(*) FROM runs r JOIN models m ON r.model = m.id GROUP BY m.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan strings.Builder
+	for prows.Next() {
+		var line string
+		if err := prows.Scan(&line); err != nil {
+			t.Fatal(err)
+		}
+		plan.WriteString(line + "\n")
+	}
+	prows.Close()
+	if p := plan.String(); !strings.Contains(p, "HashAggregate") || !strings.Contains(p, "Hash Join") {
+		t.Fatalf("want HashAggregate over Hash Join through database/sql, got:\n%s", p)
+	}
+}

@@ -2,7 +2,6 @@ package sqldb
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
 	"repro/internal/variant"
@@ -27,19 +26,14 @@ func execAggregate(cx *evalCtx, s *SelectStmt, sources []sourceInfo, rows []Row,
 			}
 			sc := bindScope(sources, joined, outer)
 			keyVals := make([]variant.Value, len(s.GroupBy))
-			var kb strings.Builder
 			for i, ge := range s.GroupBy {
 				v, err := evalExpr(cx.withScope(sc), ge)
 				if err != nil {
 					return nil, err
 				}
 				keyVals[i] = v
-				kb.WriteString(v.Kind().String())
-				kb.WriteByte(':')
-				kb.WriteString(v.String())
-				kb.WriteByte('\x00')
 			}
-			key := kb.String()
+			key := rowKey(keyVals)
 			g, ok := index[key]
 			if !ok {
 				g = &group{keyVals: keyVals}
@@ -100,21 +94,39 @@ type groupCtx struct {
 }
 
 func (g *groupCtx) eval(e Expr) (variant.Value, error) {
+	var first Row
+	if len(g.rows) > 0 {
+		first = g.rows[0]
+	}
+	return evalGrouped(g.cx, g.sources, g.groupBy, g.keyVals, first, g.outer, g.evalAggregate, e)
+}
+
+// evalGrouped evaluates one expression in a grouped context: GROUP BY keys
+// resolve to their key values, aggregate calls go through aggFn, and other
+// column references bind the group's representative row (NULL for an empty
+// group). It is the single grouped-expression evaluator — the materializing
+// executor (groupCtx, folding over the group's rows) and the streaming hash
+// aggregation (aggEval, reading incremental accumulator results) both
+// delegate here, so the two paths cannot diverge on grouped semantics.
+func evalGrouped(cx *evalCtx, sources []sourceInfo, groupBy []Expr, keyVals []variant.Value, first Row, outer *scope, aggFn func(*FuncExpr) (variant.Value, error), e Expr) (variant.Value, error) {
+	self := func(sub Expr) (variant.Value, error) {
+		return evalGrouped(cx, sources, groupBy, keyVals, first, outer, aggFn, sub)
+	}
 	// A GROUP BY key expression evaluates to its key value.
-	for i, ge := range g.groupBy {
+	for i, ge := range groupBy {
 		if exprEqual(e, ge) {
-			return g.keyVals[i], nil
+			return keyVals[i], nil
 		}
 	}
 	switch x := e.(type) {
 	case *FuncExpr:
 		if isAggregateName(x.Name) {
-			return g.evalAggregate(x)
+			return aggFn(x)
 		}
 		// Scalar function of (possibly aggregate) arguments.
 		args := make([]variant.Value, len(x.Args))
 		for i, a := range x.Args {
-			v, err := g.eval(a)
+			v, err := self(a)
 			if err != nil {
 				return variant.Value{}, err
 			}
@@ -124,75 +136,64 @@ func (g *groupCtx) eval(e Expr) (variant.Value, error) {
 		if fn, ok := builtinScalars[name]; ok {
 			return fn(args)
 		}
-		if fn, ok := g.cx.db.funcs.scalar(name); ok {
-			return fn(g.cx.ctxOrBackground(), g.cx.db, args)
+		if fn, ok := cx.db.funcs.scalar(name); ok {
+			return fn(cx.ctxOrBackground(), cx.db, args)
 		}
 		return variant.Value{}, fmt.Errorf("sql: unknown function %s()", x.Name)
 	case *BinaryExpr:
-		if x.Op == "and" || x.Op == "or" {
-			// Re-dispatch through evalBinary semantics with group-aware
-			// operand evaluation via a temporary row scope is complex; fold
-			// both sides (no short-circuit inside HAVING is acceptable).
-			l, err := g.eval(x.L)
-			if err != nil {
-				return variant.Value{}, err
-			}
-			r, err := g.eval(x.R)
-			if err != nil {
-				return variant.Value{}, err
-			}
-			return evalBinary(g.cx.withScope(nil), &BinaryExpr{Op: x.Op, L: &Literal{Value: l}, R: &Literal{Value: r}})
-		}
-		l, err := g.eval(x.L)
+		// Re-dispatching through evalBinary with group-aware operand
+		// evaluation via a temporary row scope is complex; fold both sides
+		// (no short-circuit inside HAVING is acceptable).
+		l, err := self(x.L)
 		if err != nil {
 			return variant.Value{}, err
 		}
-		r, err := g.eval(x.R)
+		r, err := self(x.R)
 		if err != nil {
 			return variant.Value{}, err
 		}
-		return evalBinary(g.cx.withScope(nil), &BinaryExpr{Op: x.Op, L: &Literal{Value: l}, R: &Literal{Value: r}})
+		return evalBinary(cx.withScope(nil), &BinaryExpr{Op: x.Op, L: &Literal{Value: l}, R: &Literal{Value: r}})
 	case *UnaryExpr:
-		v, err := g.eval(x.X)
+		v, err := self(x.X)
 		if err != nil {
 			return variant.Value{}, err
 		}
-		return evalExpr(g.cx.withScope(nil), &UnaryExpr{Op: x.Op, X: &Literal{Value: v}})
+		return evalExpr(cx.withScope(nil), &UnaryExpr{Op: x.Op, X: &Literal{Value: v}})
 	case *CastExpr:
-		v, err := g.eval(x.X)
+		v, err := self(x.X)
 		if err != nil {
 			return variant.Value{}, err
 		}
 		return castValue(v, x.Type)
 	case *Literal, *Param:
-		return evalExpr(g.cx, e)
+		return evalExpr(cx, e)
 	case *ColumnRef:
 		// Not a group key: evaluate against the first row of the group
 		// (defined behaviour here; PostgreSQL would reject).
-		if len(g.rows) == 0 {
+		if first == nil {
 			return variant.NewNull(), nil
 		}
-		sc := bindScope(g.sources, g.rows[0], g.outer)
-		return evalExpr(g.cx.withScope(sc), e)
+		sc := bindScope(sources, first, outer)
+		return evalExpr(cx.withScope(sc), e)
 	case *CaseExpr:
 		// Evaluate arms with group semantics.
 		if x.Operand != nil {
-			op, err := g.eval(x.Operand)
+			op, err := self(x.Operand)
 			if err != nil {
 				return variant.Value{}, err
 			}
 			for _, arm := range x.Whens {
-				w, err := g.eval(arm.When)
+				w, err := self(arm.When)
 				if err != nil {
 					return variant.Value{}, err
 				}
 				if c, err := variant.Compare(op, w); err == nil && c == 0 && !op.IsNull() {
-					return g.eval(arm.Then)
+					return self(arm.Then)
 				}
 			}
 		} else {
 			for _, arm := range x.Whens {
-				w, err := g.eval(arm.When)
+				w, err := self(arm.When)
 				if err != nil {
 					return variant.Value{}, err
 				}
@@ -202,13 +203,13 @@ func (g *groupCtx) eval(e Expr) (variant.Value, error) {
 						return variant.Value{}, err
 					}
 					if b {
-						return g.eval(arm.Then)
+						return self(arm.Then)
 					}
 				}
 			}
 		}
 		if x.Else != nil {
-			return g.eval(x.Else)
+			return self(x.Else)
 		}
 		return variant.NewNull(), nil
 	default:
@@ -252,84 +253,20 @@ func (g *groupCtx) evalAggregate(x *FuncExpr) (variant.Value, error) {
 		}
 		vals = append(vals, v)
 	}
-	switch name {
-	case "count":
-		return variant.NewInt(int64(len(vals))), nil
-	case "sum":
-		if len(vals) == 0 {
-			return variant.NewNull(), nil
-		}
-		allInt := true
-		sumF := 0.0
-		var sumI int64
-		for _, v := range vals {
-			if v.Kind() != variant.Int {
-				allInt = false
-			}
-			f, err := v.AsFloat()
-			if err != nil {
-				return variant.Value{}, fmt.Errorf("sql: sum(): %w", err)
-			}
-			sumF += f
-		}
-		if allInt {
-			for _, v := range vals {
-				sumI += v.Int()
-			}
-			return variant.NewInt(sumI), nil
-		}
-		return variant.NewFloat(sumF), nil
-	case "avg":
-		if len(vals) == 0 {
-			return variant.NewNull(), nil
-		}
-		sum := 0.0
-		for _, v := range vals {
-			f, err := v.AsFloat()
-			if err != nil {
-				return variant.Value{}, fmt.Errorf("sql: avg(): %w", err)
-			}
-			sum += f
-		}
-		return variant.NewFloat(sum / float64(len(vals))), nil
-	case "min", "max":
-		if len(vals) == 0 {
-			return variant.NewNull(), nil
-		}
-		best := vals[0]
-		for _, v := range vals[1:] {
-			c, err := variant.Compare(v, best)
-			if err != nil {
-				return variant.Value{}, err
-			}
-			if (name == "min" && c < 0) || (name == "max" && c > 0) {
-				best = v
-			}
-		}
-		return best, nil
-	case "stddev":
-		if len(vals) < 2 {
-			return variant.NewNull(), nil
-		}
-		mean := 0.0
-		fs := make([]float64, len(vals))
-		for i, v := range vals {
-			f, err := v.AsFloat()
-			if err != nil {
-				return variant.Value{}, fmt.Errorf("sql: stddev(): %w", err)
-			}
-			fs[i] = f
-			mean += f
-		}
-		mean /= float64(len(fs))
-		ss := 0.0
-		for _, f := range fs {
-			ss += (f - mean) * (f - mean)
-		}
-		return variant.NewFloat(math.Sqrt(ss / float64(len(fs)-1))), nil
-	default:
+	// Fold through the shared incremental accumulators (hashagg.go) so the
+	// materializing and streaming aggregation paths cannot diverge on the
+	// arithmetic: values feed in input order, which keeps float folds
+	// bit-identical.
+	acc, ok := newAggAccum(name)
+	if !ok {
 		return variant.Value{}, fmt.Errorf("sql: unknown aggregate %s()", name)
 	}
+	for _, v := range vals {
+		if err := acc.add(v); err != nil {
+			return variant.Value{}, err
+		}
+	}
+	return acc.result()
 }
 
 // exprEqual reports structural equality of two expressions (used to match
@@ -356,7 +293,8 @@ func exprEqual(a, b Expr) bool {
 		return ok && x.Type == y.Type && exprEqual(x.X, y.X)
 	case *FuncExpr:
 		y, ok := b.(*FuncExpr)
-		if !ok || !strings.EqualFold(x.Name, y.Name) || x.Star != y.Star || len(x.Args) != len(y.Args) {
+		if !ok || !strings.EqualFold(x.Name, y.Name) || x.Star != y.Star ||
+			x.Distinct != y.Distinct || len(x.Args) != len(y.Args) {
 			return false
 		}
 		for i := range x.Args {
@@ -365,6 +303,40 @@ func exprEqual(a, b Expr) bool {
 			}
 		}
 		return true
+	case *InExpr:
+		y, ok := b.(*InExpr)
+		if !ok || x.Not != y.Not || len(x.List) != len(y.List) || !exprEqual(x.X, y.X) {
+			return false
+		}
+		for i := range x.List {
+			if !exprEqual(x.List[i], y.List[i]) {
+				return false
+			}
+		}
+		return true
+	case *IsNullExpr:
+		y, ok := b.(*IsNullExpr)
+		return ok && x.Not == y.Not && exprEqual(x.X, y.X)
+	case *LikeExpr:
+		y, ok := b.(*LikeExpr)
+		return ok && x.Not == y.Not && exprEqual(x.X, y.X) && exprEqual(x.Pattern, y.Pattern)
+	case *BetweenExpr:
+		y, ok := b.(*BetweenExpr)
+		return ok && x.Not == y.Not && exprEqual(x.X, y.X) && exprEqual(x.Lo, y.Lo) && exprEqual(x.Hi, y.Hi)
+	case *CaseExpr:
+		y, ok := b.(*CaseExpr)
+		if !ok || (x.Operand == nil) != (y.Operand == nil) || (x.Else == nil) != (y.Else == nil) || len(x.Whens) != len(y.Whens) {
+			return false
+		}
+		if x.Operand != nil && !exprEqual(x.Operand, y.Operand) {
+			return false
+		}
+		for i := range x.Whens {
+			if !exprEqual(x.Whens[i].When, y.Whens[i].When) || !exprEqual(x.Whens[i].Then, y.Whens[i].Then) {
+				return false
+			}
+		}
+		return x.Else == nil || exprEqual(x.Else, y.Else)
 	default:
 		return false
 	}

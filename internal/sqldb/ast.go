@@ -86,6 +86,51 @@ type CaseWhen struct {
 	Then Expr
 }
 
+// walkExpr visits e and, when visit returns true, its children, depth-first.
+// It is the single place that enumerates every Expr node's children — the
+// function-name walker (db.go), the column-reference walker and aggregate
+// collector (operator.go, hashagg.go) are all built on it, so a new AST node
+// only needs its children registered here once.
+func walkExpr(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		walkExpr(x.L, visit)
+		walkExpr(x.R, visit)
+	case *UnaryExpr:
+		walkExpr(x.X, visit)
+	case *CastExpr:
+		walkExpr(x.X, visit)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	case *InExpr:
+		walkExpr(x.X, visit)
+		for _, i := range x.List {
+			walkExpr(i, visit)
+		}
+	case *IsNullExpr:
+		walkExpr(x.X, visit)
+	case *LikeExpr:
+		walkExpr(x.X, visit)
+		walkExpr(x.Pattern, visit)
+	case *BetweenExpr:
+		walkExpr(x.X, visit)
+		walkExpr(x.Lo, visit)
+		walkExpr(x.Hi, visit)
+	case *CaseExpr:
+		walkExpr(x.Operand, visit)
+		for _, w := range x.Whens {
+			walkExpr(w.When, visit)
+			walkExpr(w.Then, visit)
+		}
+		walkExpr(x.Else, visit)
+	}
+}
+
 func (*Literal) expr()     {}
 func (*ColumnRef) expr()   {}
 func (*Param) expr()       {}

@@ -282,6 +282,8 @@ func (db *DB) selectStream(cx *evalCtx, s *SelectStmt, cp *cachedPlan) (RowStrea
 		return plan.run(cx)
 	case physStream:
 		return db.buildSelectStream(cx, s)
+	case physOps:
+		return plan.ops.open(cx)
 	default:
 		rs, err := execSelect(cx, s, nil)
 		if err != nil {
@@ -544,43 +546,12 @@ func walkSelectFuncs(s *SelectStmt, fn func(string)) {
 }
 
 func walkExprFuncs(e Expr, fn func(string)) {
-	switch x := e.(type) {
-	case nil:
-		return
-	case *FuncExpr:
-		fn(x.Name)
-		for _, a := range x.Args {
-			walkExprFuncs(a, fn)
+	walkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncExpr); ok {
+			fn(f.Name)
 		}
-	case *BinaryExpr:
-		walkExprFuncs(x.L, fn)
-		walkExprFuncs(x.R, fn)
-	case *UnaryExpr:
-		walkExprFuncs(x.X, fn)
-	case *CastExpr:
-		walkExprFuncs(x.X, fn)
-	case *InExpr:
-		walkExprFuncs(x.X, fn)
-		for _, i := range x.List {
-			walkExprFuncs(i, fn)
-		}
-	case *IsNullExpr:
-		walkExprFuncs(x.X, fn)
-	case *LikeExpr:
-		walkExprFuncs(x.X, fn)
-		walkExprFuncs(x.Pattern, fn)
-	case *BetweenExpr:
-		walkExprFuncs(x.X, fn)
-		walkExprFuncs(x.Lo, fn)
-		walkExprFuncs(x.Hi, fn)
-	case *CaseExpr:
-		walkExprFuncs(x.Operand, fn)
-		for _, w := range x.Whens {
-			walkExprFuncs(w.When, fn)
-			walkExprFuncs(w.Then, fn)
-		}
-		walkExprFuncs(x.Else, fn)
-	}
+		return true
+	})
 }
 
 // QueryNested runs a query from inside a UDF that is already executing under

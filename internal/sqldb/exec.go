@@ -506,18 +506,25 @@ func applyOrderBy(cx *evalCtx, s *SelectStmt, sources []sourceInfo, inputRows []
 	return nil
 }
 
+// rowKey renders a row as a kind-tagged deduplication key — the encoding
+// DISTINCT uses in both the materializing executor and the streaming
+// pipeline (sortop.go), so the two paths keep identical duplicate sets.
+func rowKey(r Row) string {
+	var sb strings.Builder
+	for _, v := range r {
+		sb.WriteString(v.Kind().String())
+		sb.WriteByte(':')
+		sb.WriteString(v.String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
 func distinctRows(rows []Row) []Row {
 	seen := make(map[string]bool, len(rows))
 	var out []Row
 	for _, r := range rows {
-		var sb strings.Builder
-		for _, v := range r {
-			sb.WriteString(v.Kind().String())
-			sb.WriteByte(':')
-			sb.WriteString(v.String())
-			sb.WriteByte('\x00')
-		}
-		key := sb.String()
+		key := rowKey(r)
 		if !seen[key] {
 			seen[key] = true
 			out = append(out, r)

@@ -86,11 +86,158 @@ func (r *planRenderer) renderSelect(s *SelectStmt, depth int) error {
 	if err != nil {
 		return err
 	}
-	if plan.kind == physCompiled {
+	switch plan.kind {
+	case physCompiled:
 		r.renderCompiled(plan, depth)
 		return nil
+	case physOps:
+		return r.renderOps(plan.ops, depth)
 	}
 	return r.renderLogical(buildLogical(s), s, depth)
+}
+
+// renderOps renders the streaming operator pipeline top-down, mirroring its
+// construction order in opPlan.open.
+func (r *planRenderer) renderOps(p *opPlan, depth int) error {
+	s := p.sel
+	if s.Limit != nil || s.Offset != nil {
+		var parts []string
+		if s.Limit != nil {
+			parts = append(parts, exprString(s.Limit))
+		}
+		if s.Offset != nil {
+			parts = append(parts, "offset "+exprString(s.Offset))
+		}
+		r.node(depth, fmt.Sprintf("Limit (%s)", strings.Join(parts, ", ")))
+		depth++
+	}
+	if s.Distinct {
+		r.node(depth, "Distinct")
+		depth++
+	}
+	if len(s.OrderBy) > 0 && (p.grouped || p.ordered == nil) {
+		keys := make([]string, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			keys[i] = exprString(k.Expr)
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		r.node(depth, "Sort (key: "+strings.Join(keys, ", ")+")")
+		depth++
+	}
+	if p.grouped {
+		label := "Aggregate (streamed)"
+		if len(s.GroupBy) > 0 {
+			keys := make([]string, len(s.GroupBy))
+			for i, g := range s.GroupBy {
+				keys[i] = exprString(g)
+			}
+			label = "HashAggregate (group by: " + strings.Join(keys, ", ") + ")"
+		}
+		r.node(depth, label)
+		if s.Having != nil {
+			r.detail(depth, "Having: "+exprString(s.Having))
+		}
+		depth++
+	}
+	if p.where != nil {
+		r.node(depth, "Filter: "+exprString(p.where))
+		depth++
+	}
+	return r.renderOpInput(p, len(p.leaves)-1, depth)
+}
+
+// renderOpInput renders the join subtree whose topmost input is leaf idx.
+func (r *planRenderer) renderOpInput(p *opPlan, idx, depth int) error {
+	if idx == 0 {
+		return r.renderOpLeaf(p.leaves[0], p.ordered, depth)
+	}
+	step := p.steps[idx-1]
+	kind := "cross"
+	switch step.kind {
+	case JoinInner:
+		kind = "inner"
+	case JoinLeft:
+		kind = "left"
+	}
+	if step.hash {
+		r.node(depth, fmt.Sprintf("Hash Join (%s)", kind))
+		conds := make([]string, len(step.keysL))
+		for i := range step.keysL {
+			conds[i] = "(" + exprString(step.keysL[i]) + " = " + exprString(step.keysR[i]) + ")"
+		}
+		r.detail(depth, "Hash Cond: "+strings.Join(conds, " AND "))
+		if step.residual != nil {
+			r.detail(depth, "Join Filter: "+exprString(step.residual))
+		}
+		if err := r.renderOpInput(p, idx-1, depth+1); err != nil {
+			return err
+		}
+		r.node(depth+1, "Hash")
+		return r.renderOpLeaf(p.leaves[idx], nil, depth+2)
+	}
+	r.node(depth, fmt.Sprintf("Nested Loop (%s join)", kind))
+	if step.residual != nil {
+		r.detail(depth, "Join Cond: "+exprString(step.residual))
+	}
+	if err := r.renderOpInput(p, idx-1, depth+1); err != nil {
+		return err
+	}
+	return r.renderOpLeaf(p.leaves[idx], nil, depth+1)
+}
+
+// leafFilterLabel names a leaf's predicate detail: a lenient pushed
+// prefilter under a join reads "Prefilter" (the residual Filter above the
+// join re-verifies it), a single-source leaf's predicate is the real
+// "Filter".
+func leafFilterLabel(leaf *opSource) string {
+	if leaf.lenient {
+		return "Prefilter"
+	}
+	return "Filter"
+}
+
+// renderOpLeaf renders one scan leaf with its pushed filter.
+func (r *planRenderer) renderOpLeaf(leaf *opSource, ordered *orderedScanInfo, depth int) error {
+	switch {
+	case leaf.table != nil:
+		t := leaf.table
+		if ordered != nil {
+			rowsEq := "rows="
+			if leaf.access.analyzed {
+				rowsEq = "rows≈"
+			}
+			name := t.Name
+			if leaf.alias != "" && !strings.EqualFold(leaf.alias, t.Name) {
+				name = t.Name + " " + leaf.alias
+			}
+			dir := ""
+			if ordered.desc {
+				dir = " desc"
+			}
+			r.node(depth, fmt.Sprintf("Index Scan using %s on %s  (btree ordered%s, %s%d)",
+				ordered.ix.name, name, dir, rowsEq, leaf.access.tableRows))
+			if leaf.pushed != nil {
+				r.detail(depth, leafFilterLabel(leaf)+": "+exprString(leaf.pushed))
+			}
+			return nil
+		}
+		r.renderAccess(leaf.access, t.Name, leaf.alias, leaf.pushed, leafFilterLabel(leaf), leaf.parallel, leaf.workers, depth)
+		return nil
+	case leaf.item.Func != nil:
+		r.node(depth, fmt.Sprintf("Function Scan on %s", strings.ToLower(leaf.alias)))
+		if leaf.pushed != nil {
+			r.detail(depth, leafFilterLabel(leaf)+": "+exprString(leaf.pushed))
+		}
+		return nil
+	default:
+		r.node(depth, fmt.Sprintf("Subquery Scan on %s", strings.ToLower(leaf.alias)))
+		if leaf.pushed != nil {
+			r.detail(depth, leafFilterLabel(leaf)+": "+exprString(leaf.pushed))
+		}
+		return r.renderSelect(leaf.item.Sub, depth+1)
+	}
 }
 
 // renderCompiled renders the compiled single-table pipeline.
@@ -108,11 +255,13 @@ func (r *planRenderer) renderCompiled(p *physPlan, depth int) {
 		r.node(depth, fmt.Sprintf("%s (%s)", label, strings.Join(parts, ", ")))
 		depth++
 	}
-	r.renderAccess(p.access, p.table.Name, p.alias, s.Where, p.parallel, p.workers, depth)
+	r.renderAccess(p.access, p.table.Name, p.alias, s.Where, "Filter", p.parallel, p.workers, depth)
 }
 
 // renderAccess renders the scan leaf with its access-path annotation.
-func (r *planRenderer) renderAccess(ap accessPath, table, alias string, where Expr, parallel bool, workers, depth int) {
+// filterLabel names the predicate detail: "Filter" for a real filter,
+// "Prefilter" for a lenient pushed predicate under a join.
+func (r *planRenderer) renderAccess(ap accessPath, table, alias string, where Expr, filterLabel string, parallel bool, workers, depth int) {
 	// "rows=" reports a live count; "rows≈" an ANALYZE-snapshot estimate.
 	rowsEq := "rows="
 	if ap.analyzed {
@@ -141,7 +290,7 @@ func (r *planRenderer) renderAccess(ap accessPath, table, alias string, where Ex
 		r.node(depth, fmt.Sprintf("%s on %s  (%s%s%d)", scan, name, extra, rowsEq, ap.tableRows))
 	}
 	if where != nil {
-		r.detail(depth, "Filter: "+exprString(where))
+		r.detail(depth, filterLabel+": "+exprString(where))
 	}
 }
 
@@ -203,7 +352,7 @@ func (r *planRenderer) renderLogical(n logicalNode, s *SelectStmt, depth int) er
 			return fmt.Errorf("%w: %q", ErrNoSuchTable, x.item.Table)
 		}
 		ap := chooseAccessPath(r.db, t, "", nil)
-		r.renderAccess(ap, t.Name, strings.ToLower(x.alias), nil, false, 0, depth)
+		r.renderAccess(ap, t.Name, strings.ToLower(x.alias), nil, "Filter", false, 0, depth)
 		return nil
 	case *lFuncScan:
 		r.node(depth, fmt.Sprintf("Function Scan on %s", strings.ToLower(x.alias)))
@@ -228,7 +377,7 @@ func (r *planRenderer) renderFiltered(f *lFilter, s *SelectStmt, depth int) erro
 		}
 		alias := strings.ToLower(scan.alias)
 		ap := chooseAccessPath(r.db, t, alias, f.pred)
-		r.renderAccess(ap, t.Name, alias, f.pred, false, 0, depth)
+		r.renderAccess(ap, t.Name, alias, f.pred, "Filter", false, 0, depth)
 		return nil
 	}
 	// Joined input: the filter applies to the joined rows.
@@ -269,7 +418,7 @@ func (r *planRenderer) renderWriteScan(table string, where Expr) {
 		return
 	}
 	ap := chooseAccessPath(r.db, t, "", nil)
-	r.renderAccess(ap, t.Name, "", where, false, 0, 1)
+	r.renderAccess(ap, t.Name, "", where, "Filter", false, 0, 1)
 }
 
 // probeString renders an index probe condition.

@@ -67,6 +67,14 @@ func TestExplainGolden(t *testing.T) {
 		{name: "aggregate_sort_limit", query: `EXPLAIN SELECT room, count(*) AS n FROM sensors WHERE id > 10 GROUP BY room ORDER BY n DESC LIMIT 3`},
 		{name: "distinct", query: `EXPLAIN SELECT DISTINCT room FROM sensors`},
 		{name: "join_nested_loop", query: `EXPLAIN SELECT a.id FROM sensors a JOIN sensors b ON a.id = b.id WHERE a.temp > 40`},
+		{name: "hash_join_left", query: `EXPLAIN SELECT a.id, b.room FROM sensors a LEFT JOIN sensors b ON a.id = b.id`},
+		{name: "hash_join_residual", query: `EXPLAIN SELECT a.id FROM sensors a JOIN sensors b ON a.id = b.id AND a.temp < b.temp`},
+		{name: "join_non_equi_nested_loop", query: `EXPLAIN SELECT a.id FROM sensors a JOIN sensors b ON a.temp < b.temp WHERE b.flag = 1`},
+		{name: "hash_aggregate_join_having", query: `EXPLAIN SELECT a.room, sum(b.temp) FROM sensors a JOIN sensors b ON a.id = b.id GROUP BY a.room HAVING count(*) > 10`},
+		{name: "scalar_aggregate_streamed", query: `EXPLAIN SELECT count(*), avg(temp) FROM sensors WHERE flag = 1`},
+		{name: "order_by_index_asc", query: `EXPLAIN SELECT id, temp FROM sensors ORDER BY temp LIMIT 10`},
+		{name: "order_by_index_desc", query: `EXPLAIN SELECT temp FROM sensors WHERE room = 'room3' ORDER BY temp DESC`},
+		{name: "order_by_sorted", query: `EXPLAIN SELECT id, temp FROM sensors ORDER BY temp * 2`},
 		{name: "function_scan", query: `EXPLAIN SELECT gs * 2 FROM generate_series(1, 100) AS gs WHERE gs > 5`},
 		{name: "subquery_scan", query: `EXPLAIN SELECT s.id FROM (SELECT id FROM sensors WHERE id = 3) AS s`},
 		{name: "insert_values", query: `EXPLAIN INSERT INTO sensors VALUES (1, 2.0, 'x', 1), (2, 3.0, 'y', 1)`},

@@ -136,14 +136,20 @@ func (ps *parallelScanStream) scan(lo, hi int) {
 				continue
 			}
 		}
-		out := make(Row, len(ps.projs))
-		for pi, proj := range ps.projs {
-			v, err := proj(ps.env, in)
-			if err != nil {
-				fail(err)
-				return
+		// nil projs means identity: the partition feeds a downstream
+		// operator (a hash-join probe side) that wants the source row
+		// unchanged.
+		out := in
+		if ps.projs != nil {
+			out = make(Row, len(ps.projs))
+			for pi, proj := range ps.projs {
+				v, err := proj(ps.env, in)
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[pi] = v
 			}
-			out[pi] = v
 		}
 		batch = append(batch, out)
 		if len(batch) == batchSize && !flush() {

@@ -179,6 +179,15 @@ type PlannerOptions struct {
 	// DisableIndexScan forces full scans — the debugging/testing knob the
 	// property suite uses to cross-check planner-chosen access paths.
 	DisableIndexScan bool
+	// DisableStreamingExec forces joins, aggregates, ORDER BY and DISTINCT
+	// back onto the legacy materializing executor — the differential-testing
+	// knob that cross-checks the streaming operators (operator.go) against
+	// the reference implementation.
+	DisableStreamingExec bool
+	// DisableHashJoin keeps equi-joins on the streaming nested-loop
+	// strategy, for testing and for working around pathological key
+	// distributions.
+	DisableHashJoin bool
 	// MaxScanWorkers caps parallel partitioned scans: 1 disables them,
 	// 0 means min(GOMAXPROCS, 8).
 	MaxScanWorkers int
@@ -228,6 +237,34 @@ func (o PlannerOptions) parallelMinRows() int {
 		return o.ParallelMinRows
 	}
 	return defaultParallelMinRows
+}
+
+// parallelScanWorkers resolves the worker count for a parallel partitioned
+// scan over tableRows rows, or 0 when the scan should stay serial: below the
+// row threshold, with a single-worker pool, or when the partitions would
+// drop under the per-worker chunk floor (a lowered ParallelMinRows — tests,
+// benchmarks — lowers the floor with it). Shared by the compiled
+// single-table path and the operator pipeline's probe-side feed.
+func (o PlannerOptions) parallelScanWorkers(tableRows int) int {
+	workers := o.scanWorkers()
+	minRows := o.parallelMinRows()
+	if tableRows < minRows || workers < 2 {
+		return 0
+	}
+	chunkFloor := parallelMinChunk
+	if minRows < chunkFloor {
+		chunkFloor = minRows
+	}
+	if chunkFloor < 1 {
+		chunkFloor = 1
+	}
+	if byChunk := tableRows / chunkFloor; byChunk < workers {
+		workers = byChunk
+	}
+	if workers < 2 {
+		return 0
+	}
+	return workers
 }
 
 // --- Access-path choice ---
@@ -351,8 +388,13 @@ const (
 	// physStream: streamable, but source or expressions aren't compilable
 	// (function scans, subqueries, FROM-less) — legacy two-phase stream.
 	physStream
-	// physMaterialize: joins, aggregation, ORDER BY, DISTINCT, UDF-bearing
-	// expressions — the materializing executor.
+	// physOps: joins, aggregation, ORDER BY, DISTINCT over pure-builtin
+	// expressions — the streaming operator pipeline (operator.go): hash or
+	// nested-loop joins, incremental hash aggregation, and sort, all behind
+	// the pull-based RowStream contract.
+	physOps
+	// physMaterialize: everything else (UDF-bearing expressions, LATERAL,
+	// stddev, …) — the materializing executor.
 	physMaterialize
 )
 
@@ -375,11 +417,19 @@ type physPlan struct {
 	offsetC  compiledExpr
 	parallel bool
 	workers  int
+
+	// physOps field: the streaming operator pipeline (operator.go).
+	ops *opPlan
 }
 
 // planSelect builds the physical plan for s under the held database lock.
 func (db *DB) planSelect(s *SelectStmt) (*physPlan, error) {
 	if !streamableSelect(s) {
+		// The join/aggregate/sort class streams through the operator
+		// pipeline when it qualifies; otherwise it materializes.
+		if ops := db.planOperators(s); ops != nil {
+			return &physPlan{kind: physOps, sel: s, ops: ops}, nil
+		}
 		return &physPlan{kind: physMaterialize, sel: s}, nil
 	}
 	if len(s.From) != 1 || s.From[0].Table == "" {
@@ -447,24 +497,9 @@ func (db *DB) planSelect(s *SelectStmt) (*physPlan, error) {
 	// Parallel partitioned scan: a large sequential scan with a filter and
 	// no LIMIT/OFFSET (the merge is order-insensitive, so early-exit
 	// accounting doesn't partition).
-	workers := db.planner.scanWorkers()
-	minRows := db.planner.parallelMinRows()
 	if plan.access.kind == accessSeq && plan.filter != nil &&
-		s.Limit == nil && s.Offset == nil &&
-		plan.access.tableRows >= minRows && workers >= 2 {
-		// Keep partitions meaningfully sized; a lowered ParallelMinRows
-		// (tests, benchmarks) lowers the chunk floor with it.
-		chunkFloor := parallelMinChunk
-		if minRows < chunkFloor {
-			chunkFloor = minRows
-		}
-		if chunkFloor < 1 {
-			chunkFloor = 1
-		}
-		if byChunk := plan.access.tableRows / chunkFloor; byChunk < workers {
-			workers = byChunk
-		}
-		if workers >= 2 {
+		s.Limit == nil && s.Offset == nil {
+		if workers := db.planner.parallelScanWorkers(plan.access.tableRows); workers > 0 {
 			plan.parallel = true
 			plan.workers = workers
 		}
