@@ -138,8 +138,8 @@ func TestConformanceQuickstart(t *testing.T) {
 }
 
 // TestConformanceTx exercises transaction handles through database/sql:
-// commit persists, rollback undoes, and a second concurrent Begin fails
-// fast with ErrTxInProgress.
+// commit persists, rollback undoes, and a second concurrent Begin opens an
+// independent MVCC transaction.
 func TestConformanceTx(t *testing.T) {
 	db, err := sql.Open("pgfmu", "")
 	if err != nil {
@@ -157,9 +157,21 @@ func TestConformanceTx(t *testing.T) {
 	if _, err := tx.Exec(`INSERT INTO t VALUES (1)`); err != nil {
 		t.Fatal(err)
 	}
-	// A second transaction cannot open while the first is in flight.
-	if _, err := db.Begin(); !errors.Is(err, pgfmu.ErrTxInProgress) {
-		t.Fatalf("concurrent Begin: got %v, want ErrTxInProgress", err)
+	// A second transaction opens concurrently: MVCC snapshots isolate it
+	// from the first handle's uncommitted insert.
+	txB, err := db.Begin()
+	if err != nil {
+		t.Fatalf("concurrent Begin: %v", err)
+	}
+	var nB int
+	if err := txB.QueryRow(`SELECT count(*) FROM t`).Scan(&nB); err != nil {
+		t.Fatal(err)
+	}
+	if nB != 0 {
+		t.Fatalf("second transaction saw %d uncommitted rows, want 0", nB)
+	}
+	if err := txB.Rollback(); err != nil {
+		t.Fatal(err)
 	}
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
@@ -401,5 +413,56 @@ func TestConformanceJoinAggregate(t *testing.T) {
 	prows.Close()
 	if p := plan.String(); !strings.Contains(p, "HashAggregate") || !strings.Contains(p, "Hash Join") {
 		t.Fatalf("want HashAggregate over Hash Join through database/sql, got:\n%s", p)
+	}
+}
+
+// TestConformanceTxWriteConflict: two overlapping database/sql
+// transactions update the same row; the first committer wins and the
+// loser's error is errors.Is-able as both driver.ErrWriteConflict and
+// pgfmu.ErrWriteConflict all the way through database/sql.
+func TestConformanceTxWriteConflict(t *testing.T) {
+	db, err := sql.Open("pgfmu", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE acct (id int, bal int)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO acct VALUES (1, 100)`); err != nil {
+		t.Fatal(err)
+	}
+
+	tx1, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx1.Exec(`UPDATE acct SET bal = bal + 10 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = tx2.Exec(`UPDATE acct SET bal = bal + 5 WHERE id = 1`)
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("overlapping update: got %v, want driver.ErrWriteConflict", err)
+	}
+	if !errors.Is(err, pgfmu.ErrWriteConflict) {
+		t.Fatalf("error does not unwrap to pgfmu.ErrWriteConflict: %v", err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	var bal int
+	if err := db.QueryRow(`SELECT bal FROM acct WHERE id = 1`).Scan(&bal); err != nil {
+		t.Fatal(err)
+	}
+	if bal != 110 {
+		t.Fatalf("bal = %d, want 110 (only the winner's update applied)", bal)
 	}
 }

@@ -33,9 +33,16 @@
 //
 // # Transactions
 //
-// Tx maps to the engine's database-wide transaction. At most one is open at
-// a time; a concurrent BeginTx returns pgfmu.ErrTxInProgress rather than
-// blocking. Isolation options are rejected unless they request the default.
+// Tx maps to an engine MVCC transaction handle: any number can be open
+// concurrently, each reads from the snapshot taken at Begin and writes
+// under per-table latches. While a Tx is open its connection routes every
+// statement through the handle; two transactions updating the same row
+// surface pgfmu.ErrWriteConflict (errors.Is-able through database/sql) on
+// the later one — retry the whole transaction. Statements prepared with
+// Tx.Prepare run outside the transaction (engine prepared statements are
+// connection-scoped); use Tx.Exec / Tx.Query directly instead. Isolation
+// options are rejected unless they request the default (snapshot
+// isolation).
 package driver
 
 import (
@@ -54,6 +61,13 @@ import (
 func init() {
 	sql.Register("pgfmu", &Driver{})
 }
+
+// ErrWriteConflict is re-exported so database/sql consumers can test for
+// snapshot-isolation write-write conflicts without importing the engine
+// package: errors.Is(err, driver.ErrWriteConflict). The driver returns
+// engine errors unwrapped, so the pgfmu.ErrWriteConflict sentinel survives
+// the database/sql boundary.
+var ErrWriteConflict = pgfmu.ErrWriteConflict
 
 // Driver is the pgFMU database/sql driver, registered under the name
 // "pgfmu".
@@ -119,9 +133,12 @@ func (c *Connector) Close() error {
 	return err
 }
 
-// conn is one pooled connection: a facade over the shared engine.
+// conn is one pooled connection: a facade over the shared engine. While a
+// driver-level transaction is open, tx routes the connection's statements
+// through it (database/sql serializes use of a conn, so no lock is needed).
 type conn struct {
 	eng    *pgfmu.DB
+	tx     *pgfmu.Tx
 	closed bool
 }
 
@@ -167,11 +184,15 @@ func (c *conn) BeginTx(ctx context.Context, opts stddriver.TxOptions) (stddriver
 	if iso := sql.IsolationLevel(opts.Isolation); iso != sql.LevelDefault {
 		return nil, fmt.Errorf("pgfmu: unsupported isolation level %s (transactions are database-wide)", iso)
 	}
+	if c.tx != nil {
+		return nil, fmt.Errorf("pgfmu: transaction already open on this connection")
+	}
 	etx, err := c.eng.BeginTx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &tx{tx: etx}, nil
+	c.tx = etx
+	return &tx{c: c}, nil
 }
 
 func (c *conn) QueryContext(ctx context.Context, query string, args []stddriver.NamedValue) (stddriver.Rows, error) {
@@ -182,7 +203,12 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []stddriver.
 	if err != nil {
 		return nil, err
 	}
-	it, err := c.eng.QueryRowsContext(ctx, query, goArgs...)
+	var it *pgfmu.RowIter
+	if c.tx != nil {
+		it, err = c.tx.QueryRowsContext(ctx, query, goArgs...)
+	} else {
+		it, err = c.eng.QueryRowsContext(ctx, query, goArgs...)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +223,12 @@ func (c *conn) ExecContext(ctx context.Context, query string, args []stddriver.N
 	if err != nil {
 		return nil, err
 	}
-	n, err := c.eng.ExecContext(ctx, query, goArgs...)
+	var n int
+	if c.tx != nil {
+		n, err = c.tx.ExecContext(ctx, query, goArgs...)
+	} else {
+		n, err = c.eng.ExecContext(ctx, query, goArgs...)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -265,11 +296,21 @@ func (s *stmt) ExecContext(ctx context.Context, args []stddriver.NamedValue) (st
 	return result{rowsAffected: int64(n)}, nil
 }
 
-// tx adapts a pgfmu transaction handle.
-type tx struct{ tx *pgfmu.Tx }
+// tx adapts a pgfmu transaction handle; finishing it detaches the handle
+// from the connection so later statements run auto-committed again.
+type tx struct{ c *conn }
 
-func (t *tx) Commit() error   { return t.tx.Commit() }
-func (t *tx) Rollback() error { return t.tx.Rollback() }
+func (t *tx) Commit() error {
+	etx := t.c.tx
+	t.c.tx = nil
+	return etx.Commit()
+}
+
+func (t *tx) Rollback() error {
+	etx := t.c.tx
+	t.c.tx = nil
+	return etx.Rollback()
+}
 
 // rows adapts the engine's streaming iterator to driver.Rows. The iterator
 // holds no engine lock, so scanning may interleave freely with other

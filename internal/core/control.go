@@ -177,7 +177,9 @@ func (s *Session) registerControlUDF() {
 				return nil, fmt.Errorf("effort: %w", err)
 			}
 		}
-		s.mu.Lock()
+		if err := s.lockForUDF(); err != nil {
+			return nil, err
+		}
 		defer s.mu.Unlock()
 		return s.controlLocked(req)
 	})

@@ -36,9 +36,12 @@ func (s *Session) Parest(instanceIDs, inputSQLs, pars []string) ([]ParestResult,
 // ParestContext is Parest honouring ctx: cancelling it aborts the GA /
 // local-search iterations within one objective evaluation, the enclosing
 // transaction rolls back, and the instances keep their pre-call parameters.
+// The estimation runs as a concurrent MVCC transaction (runCalib): it
+// latches only the catalogue tables it updates, so a long calibration does
+// not stall writers of unrelated tables.
 func (s *Session) ParestContext(ctx context.Context, instanceIDs, inputSQLs, pars []string) ([]ParestResult, error) {
 	var results []ParestResult
-	err := s.runWrite(func() error {
+	err := s.runCalib(ctx, func(ctx context.Context) error {
 		var perr error
 		results, perr = s.parestLocked(ctx, instanceIDs, inputSQLs, pars)
 		return perr
@@ -98,13 +101,13 @@ func (s *Session) parestLocked(ctx context.Context, instanceIDs, inputSQLs, pars
 		// pre-fit values, which the SQL undo journal cannot see.
 		if prev, ok := s.instances[id]; ok {
 			snapshot := prev.Clone(id)
-			s.onRollback(func() { s.instances[id] = snapshot })
+			s.onRollbackCtx(ctx, func() { s.instances[id] = snapshot })
 		}
 		if err := estimate.Apply(jobs[i].Problem, r); err != nil {
 			return nil, err
 		}
 		for name, v := range r.Params {
-			if _, err := s.db.QueryNested(
+			if _, err := s.db.QueryNestedContext(ctx,
 				`UPDATE modelinstancevalues SET value = $1
 				 WHERE instanceid = $2 AND varname = $3`,
 				v, id, name); err != nil {

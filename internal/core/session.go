@@ -10,11 +10,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/estimate"
 	"repro/internal/fmu"
@@ -144,14 +146,58 @@ func (s *Session) runRead(fn func() error) error {
 	})
 }
 
+// runCalib executes a long calibration/simulation write as a concurrent
+// MVCC transaction: unlike runWrite it holds no database-wide lock, only
+// the per-table write latches its nested statements take — so a long
+// fmu_parest or fmu_simulate does not stall inserts into unrelated tables.
+// fn receives the context carrying the transaction; every nested statement
+// must thread it (QueryNestedContext). When the ambient SQL-text
+// transaction is open, RunConcurrent transparently falls back to the
+// exclusive path and joins it.
+func (s *Session) runCalib(ctx context.Context, fn func(ctx context.Context) error) error {
+	return s.db.RunConcurrent(ctx, func(ctx context.Context) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return fn(ctx)
+	})
+}
+
+// lockForUDF acquires the session lock on behalf of a SQL-invoked UDF. The
+// invoking statement already holds a database lock, while runCalib holds
+// the session lock and takes database locks per nested statement — the
+// opposite order. Waiting unboundedly here could therefore deadlock with a
+// concurrent typed-API calibration; a bounded acquisition surfaces
+// ErrWriteConflict instead, and the caller retries once the calibration
+// commits. On success the caller must s.mu.Unlock().
+func (s *Session) lockForUDF() error {
+	deadline := time.Now().Add(time.Second)
+	for !s.mu.TryLock() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: session is busy with a concurrent calibration", sqldb.ErrWriteConflict)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
 // onRollback registers a compensator that re-synchronizes the session's
 // in-memory FMU state (units, instances, live values) with the catalogue
-// if the enclosing transaction rolls back — SQL's undo journal cannot see
-// these maps. The closure retakes s.mu itself: rollback runs under the
-// exclusive database lock after every caller-held session lock is
-// released.
+// if the enclosing (ambient) transaction rolls back — SQL's undo journal
+// cannot see these maps. The closure retakes s.mu itself: rollback runs
+// after every caller-held session lock is released.
 func (s *Session) onRollback(fn func()) {
 	s.db.OnRollback(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		fn()
+	})
+}
+
+// onRollbackCtx is onRollback for code that may run inside a concurrent
+// transaction (runCalib): if ctx carries one, the compensator registers
+// there; otherwise it falls back to the ambient transaction.
+func (s *Session) onRollbackCtx(ctx context.Context, fn func()) {
+	s.db.OnRollbackContext(ctx, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		fn()

@@ -42,9 +42,10 @@ func (s *Session) Simulate(req SimulateRequest) (*sqldb.ResultSet, error) {
 // enclosing transaction rolls back.
 func (s *Session) SimulateContext(ctx context.Context, req SimulateRequest) (*sqldb.ResultSet, error) {
 	// Simulation also refreshes catalogued state values, so it runs as a
-	// write.
+	// write — a concurrent one (runCalib), so a long simulation does not
+	// stall writers of unrelated tables.
 	var rs *sqldb.ResultSet
-	err := s.runWrite(func() error {
+	err := s.runCalib(ctx, func(ctx context.Context) error {
 		res, timestamps, serr := s.simulateFrameLocked(ctx, req)
 		if serr != nil {
 			return serr

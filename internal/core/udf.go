@@ -35,7 +35,9 @@ func (s *Session) registerUDFs() {
 		if err != nil {
 			return variant.Value{}, err
 		}
-		s.mu.Lock()
+		if err := s.lockForUDF(); err != nil {
+			return variant.Value{}, err
+		}
 		defer s.mu.Unlock()
 		id, err := s.createLocked(unit, instanceID)
 		if err != nil {
@@ -53,7 +55,9 @@ func (s *Session) registerUDFs() {
 		if len(args) == 2 {
 			newID = args[1].AsText()
 		}
-		s.mu.Lock()
+		if err := s.lockForUDF(); err != nil {
+			return variant.Value{}, err
+		}
 		defer s.mu.Unlock()
 		id, err := s.copyLocked(args[0].AsText(), newID)
 		if err != nil {
@@ -67,7 +71,9 @@ func (s *Session) registerUDFs() {
 		if len(args) != 1 {
 			return nil, fmt.Errorf("fmu_variables(instanceId) expects 1 argument")
 		}
-		s.mu.Lock()
+		if err := s.lockForUDF(); err != nil {
+			return nil, err
+		}
 		defer s.mu.Unlock()
 		return s.variablesLocked(args[0].AsText())
 	})
@@ -77,7 +83,9 @@ func (s *Session) registerUDFs() {
 		if len(args) != 2 {
 			return nil, fmt.Errorf("fmu_get(instanceId, varName) expects 2 arguments")
 		}
-		s.mu.Lock()
+		if err := s.lockForUDF(); err != nil {
+			return nil, err
+		}
 		defer s.mu.Unlock()
 		initial, minV, maxV, err := s.getLocked(args[0].AsText(), args[1].AsText())
 		if err != nil {
@@ -102,7 +110,9 @@ func (s *Session) registerUDFs() {
 			if err != nil {
 				return variant.Value{}, fmt.Errorf("%s: %w", name, err)
 			}
-			s.mu.Lock()
+			if err := s.lockForUDF(); err != nil {
+				return variant.Value{}, err
+			}
 			defer s.mu.Unlock()
 			if err := s.setValueLocked(args[0].AsText(), args[1].AsText(), attr, v); err != nil {
 				return variant.Value{}, err
@@ -119,7 +129,9 @@ func (s *Session) registerUDFs() {
 		if len(args) != 1 {
 			return variant.Value{}, fmt.Errorf("fmu_reset(instanceId) expects 1 argument")
 		}
-		s.mu.Lock()
+		if err := s.lockForUDF(); err != nil {
+			return variant.Value{}, err
+		}
 		defer s.mu.Unlock()
 		if err := s.resetLocked(args[0].AsText()); err != nil {
 			return variant.Value{}, err
@@ -132,7 +144,9 @@ func (s *Session) registerUDFs() {
 		if len(args) != 1 {
 			return variant.Value{}, fmt.Errorf("fmu_delete_instance(instanceId) expects 1 argument")
 		}
-		s.mu.Lock()
+		if err := s.lockForUDF(); err != nil {
+			return variant.Value{}, err
+		}
 		defer s.mu.Unlock()
 		if err := s.deleteInstanceLocked(args[0].AsText()); err != nil {
 			return variant.Value{}, err
@@ -145,7 +159,9 @@ func (s *Session) registerUDFs() {
 		if len(args) != 1 {
 			return variant.Value{}, fmt.Errorf("fmu_delete_model(modelId) expects 1 argument")
 		}
-		s.mu.Lock()
+		if err := s.lockForUDF(); err != nil {
+			return variant.Value{}, err
+		}
 		defer s.mu.Unlock()
 		if err := s.deleteModelLocked(args[0].AsText()); err != nil {
 			return variant.Value{}, err
@@ -200,7 +216,9 @@ func (s *Session) registerUDFs() {
 		if len(args) == 3 {
 			pars = splitBraceList(args[2].AsText())
 		}
-		s.mu.Lock()
+		if err := s.lockForUDF(); err != nil {
+			return variant.Value{}, err
+		}
 		defer s.mu.Unlock()
 		rmse, err := s.validateLocked(ctx, args[0].AsText(), args[1].AsText(), pars)
 		if err != nil {
@@ -239,7 +257,9 @@ func (s *Session) registerUDFs() {
 			}
 			req.TimeFrom, req.TimeTo = &from, &to
 		}
-		s.mu.Lock()
+		if err := s.lockForUDF(); err != nil {
+			return nil, err
+		}
 		defer s.mu.Unlock()
 		res, timestamps, err := s.simulateFrameLocked(ctx, req)
 		if err != nil {
@@ -272,7 +292,9 @@ func (s *Session) parestFromArgs(ctx context.Context, args []variant.Value) ([]P
 	if len(args) >= 3 && !args[2].IsNull() {
 		pars = splitBraceList(args[2].AsText())
 	}
-	s.mu.Lock()
+	if err := s.lockForUDF(); err != nil {
+		return nil, err
+	}
 	defer s.mu.Unlock()
 	if len(args) == 4 && !args[3].IsNull() {
 		t, err := args[3].AsFloat()

@@ -50,22 +50,28 @@ func (rs *ResultSet) Scan(i int, column string) (variant.Value, error) {
 	return rs.Rows[i][idx], nil
 }
 
-// Table is a heap table: a schema plus rows and its secondary indexes.
-// Reads may proceed concurrently under the DB's shared lock; all mutation
-// (rows and indexes) happens under the DB's exclusive lock.
+// Table is a heap table: a schema plus a versioned row store and its
+// secondary indexes. Row storage is multi-versioned (see mvcc.go): readers
+// resolve a view header and filter by snapshot visibility without locks;
+// writers hold the table's write latch (plus the DB's shared lock) or the
+// DB's exclusive lock. The indexes slice itself is only mutated by DDL
+// under the exclusive lock.
 type Table struct {
 	Name    string
 	Columns []Column
-	Rows    []Row
+
+	// view is the current published generation of the version arrays.
+	view atomic.Pointer[tableView]
 
 	indexes []*index
 
 	// stats is the latest ANALYZE snapshot (nil before the first one); it is
 	// replaced wholesale, never mutated. statMutations counts row churn since
 	// that snapshot, driving the automatic refresh (see stats.go). Both are
-	// written only under the DB's exclusive lock.
-	stats         *tableStats
-	statMutations int
+	// atomic so ANALYZE never needs a table latch (a latch-waiting ANALYZE
+	// inside a commit path could deadlock against the latch holder).
+	stats         atomic.Pointer[tableStats]
+	statMutations atomic.Int64
 }
 
 func (t *Table) columnIndex(name string) int {
@@ -233,7 +239,7 @@ func (c *catalog) createIndex(info IndexInfo, ifNotExists bool) (created bool, e
 		kind:   info.Kind,
 		col:    col,
 	}
-	if err := ix.build(t.Rows); err != nil {
+	if err := ix.build(t.loadView().rows); err != nil {
 		return false, err
 	}
 	t.indexes = append(t.indexes, ix)

@@ -6,24 +6,28 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/variant"
 )
 
 // DB is an embedded, in-memory SQL database with a UDF registry — the
 // PostgreSQL stand-in the pgFMU core extends. It is safe for concurrent use.
-// Statements run under a database-wide reader/writer lock: read-only
-// SELECTs share the lock and execute in parallel (the paper's multi-instance
-// fan-out workload), while DML, DDL, and any statement invoking a UDF with
-// possible side effects take it exclusively. UDFs registered through
-// RegisterScalarReadOnly/RegisterTableReadOnly declare themselves safe for
-// shared execution.
+//
+// Concurrency is multi-version (see mvcc.go): readers run against a
+// snapshot with no lock held on the row-iteration hot path, and writers
+// serialize per table through write latches, so transactions writing
+// disjoint tables execute and commit in parallel. The database-wide
+// reader/writer lock remains, but in a weaker role: plain DML shares it
+// (db.mu.RLock) and only DDL, UDF-bearing statements, and the ambient SQL
+// transaction take it exclusively.
 //
 // The execution API follows the standard Go contract: Exec/Query/QueryRows
 // with Context variants, Prepare for reusable statements (see stmt.go),
 // Begin for transaction handles (see tx.go), and streaming row iteration
 // (see rows.go). No lock is ever held past a method's return: streaming
-// results iterate over point-in-time snapshots.
+// results iterate over snapshot-filtered row sets.
 type DB struct {
 	mu     sync.RWMutex
 	tables *catalog
@@ -41,10 +45,11 @@ type DB struct {
 	// written only under the exclusive lock via SetPlannerOptions.
 	planner PlannerOptions
 
-	// txn is the open transaction: the explicit one between BEGIN and
-	// COMMIT/ROLLBACK (whether issued as SQL or through a Tx handle), or the
-	// implicit single-statement transaction wrapped around each write.
-	// Mutated only under the exclusive lock (see txn.go).
+	// txn is the ambient transaction: the explicit database-wide one between
+	// SQL BEGIN and COMMIT/ROLLBACK, or the implicit transaction wrapped
+	// around each exclusive-path write. Written only under the exclusive
+	// lock; readable under either lock mode. Concurrent transactions (Tx
+	// handles, latched DML, RunConcurrent) never appear here.
 	txn *txnState
 	// wal is the attached write-ahead log; nil for an in-memory database
 	// (see wal.go / EnableDurability).
@@ -52,16 +57,45 @@ type DB struct {
 	// closed marks a DB shut down by Close; all statement entry points
 	// return ErrClosed afterwards. Guarded by mu.
 	closed bool
+
+	// clock is the commit-timestamp clock: the stamp of the newest committed
+	// transaction. Reading it IS taking a snapshot. Advanced only inside
+	// commitTxn, under commitMu.
+	clock atomic.Uint64
+	// txnID allocates transaction identities (their in-flight stamps).
+	txnID atomic.Uint64
+	// commitMu serializes commits: the WAL write, the stamp flips, and the
+	// clock publication happen as one unit per transaction, so WAL order
+	// always matches visibility order and frames from two committing
+	// sessions never interleave.
+	commitMu sync.Mutex
+	// locks hands out the per-table write latches.
+	locks *lockMgr
+	// snaps tracks open explicit concurrent transactions for Vacuum's
+	// oldest-active-snapshot watermark.
+	snaps *snapTracker
 }
+
+// latchWaitTimeout bounds how long a transaction that already holds latches
+// (or the shared lock) waits for another table's latch; expiry surfaces as
+// ErrWriteConflict, converting potential latch-order deadlocks between
+// multi-table transactions into a retryable error.
+const latchWaitTimeout = time.Second
 
 // New creates an empty database with the plan cache enabled.
 func New() *DB {
-	return &DB{
+	db := &DB{
 		tables:     newCatalog(),
 		funcs:      newRegistry(),
 		planCache:  make(map[string]*cachedPlan),
 		cachePlans: true,
+		locks:      newLockMgr(),
+		snaps:      newSnapTracker(),
 	}
+	// Recovery replay stamps rows with timestamp 1; starting the clock there
+	// makes them visible to the first snapshot.
+	db.clock.Store(1)
+	return db
 }
 
 // EnablePlanCache toggles the parsed-statement cache (on by default). The
@@ -202,8 +236,8 @@ func (db *DB) ExecContext(ctx context.Context, sql string, args ...any) (int, er
 
 // QueryRows runs a statement and returns a streaming row iterator: rows are
 // produced on demand, so LIMIT does bounded work and large results never
-// materialize. The iterator holds no database lock — it reads a
-// point-in-time snapshot — and must be closed (or exhausted).
+// materialize. The iterator holds no database lock — it reads a snapshot-
+// filtered row set — and must be closed (or exhausted).
 func (db *DB) QueryRows(sql string, args ...any) (*RowIter, error) {
 	return db.QueryRowsContext(context.Background(), sql, args...)
 }
@@ -222,14 +256,58 @@ func (db *DB) QueryRowsContext(ctx context.Context, sql string, args ...any) (*R
 	return db.queryStmt(ctx, sql, cp, params)
 }
 
-// queryStmt is the single executor entry point shared by QueryRowsContext,
-// prepared statements (stmt.go), and transaction handles (tx.go).
+// txnCtxKey carries a concurrent transaction through a context (see
+// RunConcurrent); nestedCtxKey marks a context handed to a UDF while the
+// engine already holds a database lock, so nested statements know not to
+// re-acquire it.
+type txnCtxKey struct{}
+type nestedCtxKey struct{}
+
+func txnFromContext(ctx context.Context) *txnState {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(txnCtxKey{}).(*txnState)
+	return t
+}
+
+func nestedFromContext(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	b, _ := ctx.Value(nestedCtxKey{}).(bool)
+	return b
+}
+
+// readSnap is the snapshot for a statement outside any explicit
+// transaction: the latest committed timestamp, plus the ambient
+// transaction's own writes when one is open (preserving the historical
+// database-wide transaction semantics where every statement joins it).
+// Caller holds db.mu in either mode.
+func (db *DB) readSnap() snapshot {
+	if t := db.txn; t != nil {
+		return snapshot{ts: db.clock.Load(), self: t.stamp()}
+	}
+	return snapshot{ts: db.clock.Load()}
+}
+
+// queryStmt is the single executor entry point shared by QueryRowsContext
+// and prepared statements (stmt.go). Transaction handles and RunConcurrent
+// bodies route through execTxStmt instead. Statements dispatch three ways:
+// read-only SELECTs share the lock, builtin-only DML takes the concurrent
+// write path (per-table latch + shared lock), and everything else — DDL,
+// UDF-bearing statements, transaction control — takes the exclusive path.
 func (db *DB) queryStmt(ctx context.Context, text string, cp *cachedPlan, params []variant.Value) (*RowIter, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if tx := txnFromContext(ctx); tx != nil && !nestedFromContext(ctx) {
+		// Query/Exec called from inside a RunConcurrent body: the statement
+		// belongs to that transaction.
+		return db.execTxStmt(ctx, text, cp, params, tx)
 	}
 	cx := &evalCtx{db: db, params: params, ctx: ctx}
 	if db.isReadOnly(cp.stmt) {
@@ -238,6 +316,7 @@ func (db *DB) queryStmt(ctx context.Context, text string, cp *cachedPlan, params
 			db.mu.RUnlock()
 			return nil, ErrClosed
 		}
+		cx.snap = db.readSnap()
 		var st RowStream
 		var err error
 		if ex, ok := cp.stmt.(*ExplainStmt); ok {
@@ -256,12 +335,231 @@ func (db *DB) queryStmt(ctx context.Context, text string, cp *cachedPlan, params
 		}
 		return newRowIter(ctx, st), nil
 	}
+	if isDMLStmt(cp.stmt) && stmtUsesOnlyBuiltins(cp.stmt) {
+		st, handled, err := db.runConcurrentWrite(ctx, dmlTable(cp.stmt), params, func(cx *evalCtx, _ *Table) (RowStream, error) {
+			return db.execStatement(cx, text, cp)
+		})
+		if handled {
+			if err != nil {
+				return nil, err
+			}
+			return newRowIter(ctx, st), nil
+		}
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return nil, ErrClosed
 	}
 	return db.execTop(cx, text, cp)
+}
+
+// dmlTable names the table a DML statement writes.
+func dmlTable(s Statement) string {
+	switch t := s.(type) {
+	case *InsertStmt:
+		return t.Table
+	case *UpdateStmt:
+		return t.Table
+	case *DeleteStmt:
+		return t.Table
+	}
+	return ""
+}
+
+// runConcurrentWrite executes body as one implicit concurrent transaction
+// against table name: latch first (holding nothing, so waiting is
+// deadlock-free), then the shared lock, then a snapshot — pinned after the
+// latch, so the transaction can never lose a write-write race. handled is
+// false when the statement must fall back to the exclusive path: the table
+// is missing (let the canonical path produce the error) or the ambient
+// database-wide transaction is open (the write must join it).
+func (db *DB) runConcurrentWrite(ctx context.Context, name string, params []variant.Value, body func(cx *evalCtx, t *Table) (RowStream, error)) (RowStream, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		t, ok := db.tables.get(name)
+		if !ok {
+			return nil, false, nil
+		}
+		tx := db.newTxn(false, true)
+		if !db.locks.tryAcquire(t, tx) {
+			// The latch is busy. If the holder is the ambient database-wide
+			// transaction (statements joining it latch through it), waiting
+			// here would self-deadlock — fall back to the exclusive path,
+			// which joins the ambient transaction and finds the latch
+			// already held. Otherwise the holder is an independent
+			// concurrent transaction that finishes on its own; wait for it
+			// while holding nothing.
+			db.mu.RLock()
+			ambient := db.txn != nil
+			db.mu.RUnlock()
+			if ambient {
+				return nil, false, nil
+			}
+			if err := db.latchTable(ctx, t, tx, 0); err != nil {
+				return nil, true, err
+			}
+		} else {
+			tx.latches = append(tx.latches, t)
+		}
+		db.mu.RLock()
+		if db.closed {
+			db.mu.RUnlock()
+			db.releaseLatches(tx)
+			return nil, true, ErrClosed
+		}
+		if db.txn != nil {
+			db.mu.RUnlock()
+			db.releaseLatches(tx)
+			return nil, false, nil
+		}
+		if cur, ok2 := db.tables.get(name); !ok2 || cur != t {
+			// The table was dropped or replaced while we waited for the
+			// latch; resolve again.
+			db.mu.RUnlock()
+			db.releaseLatches(tx)
+			continue
+		}
+		// Snapshot after the latch: every earlier writer of this table has
+		// fully committed or aborted, so the write set is conflict-free by
+		// construction — waiting writers serialize, they don't fail.
+		tx.snap = snapshot{ts: db.clock.Load(), self: tx.stamp()}
+		cx := &evalCtx{db: db, params: params, ctx: ctx, txn: tx, snap: tx.snap}
+		if db.wal != nil {
+			// Concurrent transactions always log physical row records:
+			// logical statement replay cannot reproduce snapshot-dependent
+			// results under interleaved commits.
+			cx.physLog = true
+		}
+		st, err := body(cx, t)
+		var ckptDue bool
+		if err == nil {
+			ckptDue, err = db.commitTxn(tx)
+			if err == nil {
+				db.autoAnalyzeTouched(tx)
+				db.mu.RUnlock()
+				db.releaseLatches(tx)
+				if ckptDue {
+					// Best effort, outside the shared lock (Checkpoint takes
+					// the exclusive one); the WAL stays valid if it fails.
+					_ = db.Checkpoint()
+				}
+				return st, true, nil
+			}
+		}
+		if uerr := tx.unwind(db, txnMarks{}); uerr != nil {
+			err = errors.Join(err, uerr)
+		}
+		db.mu.RUnlock()
+		db.releaseLatches(tx)
+		return nil, true, err
+	}
+}
+
+// execTxStmt runs one statement inside a concurrent transaction (a Tx
+// handle or a RunConcurrent body). Reads share the lock against the
+// transaction's pinned snapshot (repeatable read); DML latches its table
+// with a bounded wait, then shares the lock; DDL and UDF-bearing statements
+// take the exclusive lock. The transaction stays open across statements —
+// nothing commits here.
+//
+// Every lock acquisition is bounded: the caller may hold table latches and
+// application-level locks (e.g. the pgFMU session lock) that an
+// exclusive-lock holder is itself waiting on, so an unbounded wait could
+// close a deadlock cycle across lock orders. Timing out surfaces
+// ErrWriteConflict — the transaction rolls back and the caller retries.
+func (db *DB) execTxStmt(ctx context.Context, text string, cp *cachedPlan, params []variant.Value, tx *txnState) (*RowIter, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if isTxnControlStmt(cp.stmt) {
+		return nil, fmt.Errorf("sql: transaction control is not valid inside a transaction handle")
+	}
+	// UDFs invoked by this statement receive a context that still carries
+	// the transaction but is marked nested, so their QueryNested calls join
+	// it without re-taking the database lock.
+	cx := &evalCtx{db: db, params: params, ctx: context.WithValue(ctx, nestedCtxKey{}, true), txn: tx, snap: tx.snap}
+	if db.wal != nil {
+		cx.physLog = true
+	}
+	if db.isReadOnly(cp.stmt) {
+		if err := db.rlockBounded(); err != nil {
+			return nil, err
+		}
+		if db.closed {
+			db.mu.RUnlock()
+			return nil, ErrClosed
+		}
+		var st RowStream
+		var err error
+		if ex, ok := cp.stmt.(*ExplainStmt); ok {
+			var rs *ResultSet
+			if rs, err = db.explainLocked(ex); err == nil {
+				st = rs.Stream()
+			}
+		} else {
+			st, err = db.selectStream(cx, cp.stmt.(*SelectStmt), cp)
+		}
+		db.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		return newRowIter(ctx, st), nil
+	}
+	if isDMLStmt(cp.stmt) && stmtUsesOnlyBuiltins(cp.stmt) {
+		name := dmlTable(cp.stmt)
+		for {
+			t, ok := db.tables.get(name)
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+			}
+			// Bounded wait: this transaction may already hold other latches,
+			// and another transaction could be waiting on them — timing out
+			// with ErrWriteConflict breaks the cycle.
+			if err := db.latchTable(ctx, t, tx, latchWaitTimeout); err != nil {
+				return nil, err
+			}
+			if err := db.rlockBounded(); err != nil {
+				return nil, err
+			}
+			if db.closed {
+				db.mu.RUnlock()
+				return nil, ErrClosed
+			}
+			if cur, ok2 := db.tables.get(name); !ok2 || cur != t {
+				db.mu.RUnlock()
+				continue
+			}
+			st, err := db.execStatement(cx, text, cp)
+			db.mu.RUnlock()
+			if err != nil {
+				return nil, err
+			}
+			return newRowIter(ctx, st), nil
+		}
+	}
+	// DDL, ANALYZE, and UDF-bearing statements: exclusive lock. Table
+	// latches are probed, never waited for, under it (see tryLatchTable).
+	if err := db.lockBounded(); err != nil {
+		return nil, err
+	}
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if db.txn != nil {
+		return nil, fmt.Errorf("%w (exclusive statement inside a concurrent transaction)", ErrTxInProgress)
+	}
+	st, err := db.execStatement(cx, text, cp)
+	if err != nil {
+		return nil, err
+	}
+	return newRowIter(ctx, st), nil
 }
 
 // selectStream executes a SELECT under the held lock and returns its rows
@@ -325,6 +623,12 @@ func (db *DB) execTop(cx *evalCtx, text string, cp *cachedPlan) (*RowIter, error
 
 	var st RowStream
 	err := db.runInTxn(func() error {
+		t := db.txn
+		// Refresh the ambient snapshot per statement (read-committed style):
+		// commits by concurrent transactions between this transaction's
+		// statements become visible, as they always were on this path.
+		t.snap = snapshot{ts: db.clock.Load(), self: t.stamp()}
+		cx.txn, cx.snap = t, t.snap
 		var serr error
 		st, serr = db.execStatement(cx, text, cp)
 		return serr
@@ -335,24 +639,50 @@ func (db *DB) execTop(cx *evalCtx, text string, cp *cachedPlan) (*RowIter, error
 	return newRowIter(cx.ctx, st), nil
 }
 
-// beginLocked opens an explicit database-wide transaction; ErrTxInProgress
-// if one is already open. Caller holds the exclusive lock.
+// beginLocked opens the explicit ambient (database-wide) transaction;
+// ErrTxInProgress if one is already open. Caller holds the exclusive lock.
 func (db *DB) beginLocked() (*txnState, error) {
 	if db.txn != nil && db.txn.explicit {
 		return nil, ErrTxInProgress
 	}
-	t := newTxn(true)
+	t := db.newTxn(true, false)
+	t.snap = snapshot{ts: db.clock.Load(), self: t.stamp()}
 	db.txn = t
 	return t, nil
 }
 
-// commitLocked commits t if it is still the open transaction: its WAL
+// commitTxn makes a finished transaction durable and visible: its WAL
+// records are written (and fsynced per the group-commit policy), then its
+// version stamps flip to the next commit timestamp, and the clock publishes
+// it. Serialized by commitMu, so stamp order always matches WAL order and
+// two committing sessions never interleave WAL frames. Safe under either
+// db.mu mode (an exclusive holder cannot contend with concurrent
+// committers, which hold the shared lock). Reports whether an automatic
+// checkpoint is due; shared-lock callers run it after unlocking.
+func (db *DB) commitTxn(t *txnState) (ckptDue bool, err error) {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if err := db.walCommit(t); err != nil {
+		return false, err
+	}
+	ts := db.clock.Load() + 1
+	for _, m := range t.created {
+		m.begin.Store(ts)
+	}
+	for _, m := range t.ended {
+		m.end.Store(ts)
+	}
+	db.clock.Store(ts)
+	db.snaps.drop(t)
+	return db.walCheckpointDue(), nil
+}
+
+// commitLocked commits the ambient transaction t if it is still open: WAL
 // records are made durable (unwinding memory state if the log fails, so
 // memory never diverges from what recovery would rebuild) and an automatic
 // checkpoint runs when due. ErrTxDone if t was already finished (e.g. by a
-// SQL COMMIT racing a Tx handle); ErrClosed if the database was shut down
-// (the WAL is detached, so the commit could not be made durable). Caller
-// holds the exclusive lock.
+// SQL COMMIT racing another statement); ErrClosed if the database was shut
+// down. Caller holds the exclusive lock.
 func (db *DB) commitLocked(t *txnState) error {
 	if db.closed {
 		return ErrClosed
@@ -361,19 +691,24 @@ func (db *DB) commitLocked(t *txnState) error {
 		return ErrTxDone
 	}
 	db.txn = nil
-	if err := db.walCommit(t); err != nil {
-		if uerr := t.unwind(db, 0, 0); uerr != nil {
+	_, err := db.commitTxn(t)
+	if err != nil {
+		uerr := t.unwind(db, txnMarks{})
+		db.releaseLatches(t)
+		if uerr != nil {
 			return errors.Join(err, uerr)
 		}
 		return err
 	}
+	db.releaseLatches(t)
 	db.maybeAutoCheckpointLocked()
 	db.autoAnalyzeTouched(t)
 	return nil
 }
 
-// rollbackLocked rolls t back if it is still the open transaction; ErrTxDone
-// otherwise, ErrClosed after shutdown. Caller holds the exclusive lock.
+// rollbackLocked rolls t back if it is still the open ambient transaction;
+// ErrTxDone otherwise, ErrClosed after shutdown. Caller holds the exclusive
+// lock.
 func (db *DB) rollbackLocked(t *txnState) error {
 	if db.closed {
 		return ErrClosed
@@ -382,74 +717,80 @@ func (db *DB) rollbackLocked(t *txnState) error {
 		return ErrTxDone
 	}
 	db.txn = nil
-	return t.unwind(db, 0, 0)
+	err := t.unwind(db, txnMarks{})
+	db.releaseLatches(t)
+	db.snaps.drop(t)
+	return err
 }
 
-// txLive reports whether t is still the open transaction — false once it
-// was finished by a Tx handle or by SQL COMMIT/ROLLBACK text.
+// txLive reports whether t is still the open ambient transaction — false
+// once it was finished by SQL COMMIT/ROLLBACK text.
 func (db *DB) txLive(t *txnState) bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.txn == t
 }
 
-// runInTxn runs fn as one atomic unit of the open transaction — or of an
+// runInTxn runs fn as one atomic unit of the ambient transaction — or of an
 // implicit single-shot transaction when none is open. On error, every
 // mutation fn journalled is unwound; on success of an implicit transaction,
 // its WAL records are committed (unwinding again if the log cannot be made
-// durable) and an automatic checkpoint runs when due. This is the single
-// commit/rollback protocol shared by SQL statements (execTop), the typed
-// mutating APIs (RunExclusive), and the bulk-load path (InsertRow).
+// durable) and an automatic checkpoint runs when due. This is the
+// commit/rollback protocol of the exclusive path, shared by SQL statements
+// (execTop) and the typed mutating APIs (RunExclusive).
 func (db *DB) runInTxn(fn func() error) error {
 	if t := db.txn; t != nil {
-		undoMark, pendMark := len(t.undo), len(t.pending)
+		m := t.marks()
 		err := fn()
-		if err != nil && (len(t.undo) > undoMark || len(t.pending) > pendMark) {
-			if uerr := t.unwind(db, undoMark, pendMark); uerr != nil {
+		if err != nil && t.dirtySince(m) {
+			if uerr := t.unwind(db, m); uerr != nil {
 				return errors.Join(err, uerr)
 			}
 		}
 		return err
 	}
-	t := newTxn(false)
+	t := db.newTxn(false, false)
+	t.snap = snapshot{ts: db.clock.Load(), self: t.stamp()}
 	db.txn = t
 	err := fn()
 	db.txn = nil
-	if err != nil {
-		if uerr := t.unwind(db, 0, 0); uerr != nil {
-			return errors.Join(err, uerr)
+	if err == nil {
+		var werr error
+		_, werr = db.commitTxn(t)
+		if werr == nil {
+			db.releaseLatches(t)
+			db.maybeAutoCheckpointLocked()
+			db.autoAnalyzeTouched(t)
+			return nil
 		}
-		return err
+		err = werr
 	}
-	if werr := db.walCommit(t); werr != nil {
-		if uerr := t.unwind(db, 0, 0); uerr != nil {
-			return errors.Join(werr, uerr)
-		}
-		return werr
+	if uerr := t.unwind(db, txnMarks{}); uerr != nil {
+		err = errors.Join(err, uerr)
 	}
-	db.maybeAutoCheckpointLocked()
-	db.autoAnalyzeTouched(t)
-	return nil
+	db.releaseLatches(t)
+	return err
 }
 
 // execStatement runs one statement with statement-level atomicity inside
-// the open transaction (undo on error) and captures its WAL records: the
-// statement text when every referenced function is a builtin, otherwise the
-// physical row changes (see txn.go).
+// cx's transaction (unwind to the statement's marks on error) and captures
+// its WAL records: the statement text when every referenced function is a
+// builtin and the transaction runs exclusively, otherwise the physical row
+// changes (see txn.go).
 func (db *DB) execStatement(cx *evalCtx, text string, cp *cachedPlan) (RowStream, error) {
 	stmt := cp.stmt
 	if isTxnControlStmt(stmt) {
 		return nil, fmt.Errorf("sql: transaction control is only valid as a top-level statement")
 	}
-	t := db.txn
+	t := cx.txn
 	if t == nil {
-		// Read path (shared lock) or recovery replay: nothing to journal.
+		// Read path or recovery replay: nothing to journal.
 		return db.execStream(cx, cp)
 	}
-	undoMark, pendMark := len(t.undo), len(t.pending)
+	m := t.marks()
 	logStmt := false
-	if isMutatingStmt(stmt) && db.wal != nil {
-		if stmtUsesOnlyBuiltins(stmt) {
+	if isMutatingStmt(stmt) && db.wal != nil && !cx.physLog {
+		if stmtUsesOnlyBuiltins(stmt) && !t.concurrent {
 			logStmt = true
 		} else {
 			cx.physLog = true
@@ -457,8 +798,8 @@ func (db *DB) execStatement(cx *evalCtx, text string, cp *cachedPlan) (RowStream
 	}
 	st, err := db.execStream(cx, cp)
 	if err != nil {
-		if len(t.undo) > undoMark || len(t.pending) > pendMark {
-			if uerr := t.unwind(db, undoMark, pendMark); uerr != nil {
+		if t.dirtySince(m) {
+			if uerr := t.unwind(db, m); uerr != nil {
 				return nil, errors.Join(err, uerr)
 			}
 		}
@@ -486,7 +827,7 @@ func (db *DB) execStream(cx *evalCtx, cp *cachedPlan) (RowStream, error) {
 // EXPLAIN (planning never executes), or a SELECT whose every function
 // reference is an aggregate, a builtin, or a UDF registered as read-only.
 // Anything else — DML, DDL, ANALYZE, or a SELECT invoking a UDF with
-// possible side effects — requires the exclusive lock.
+// possible side effects — requires a write path.
 func (db *DB) isReadOnly(stmt Statement) bool {
 	if _, ok := stmt.(*ExplainStmt); ok {
 		return true
@@ -564,7 +905,10 @@ func (db *DB) QueryNested(sql string, args ...any) (*ResultSet, error) {
 
 // QueryNestedContext is QueryNested honouring ctx — context-aware UDFs pass
 // their statement context through so nested reads stop promptly on
-// cancellation.
+// cancellation. A context from a RunConcurrent body routes the statement
+// into that concurrent transaction (acquiring the locks it needs); a
+// context handed to a UDF mid-statement joins the enclosing execution
+// directly, since the engine already holds the lock.
 func (db *DB) QueryNestedContext(ctx context.Context, sql string, args ...any) (*ResultSet, error) {
 	cp, err := db.parse(sql)
 	if err != nil {
@@ -574,7 +918,28 @@ func (db *DB) QueryNestedContext(ctx context.Context, sql string, args ...any) (
 	if err != nil {
 		return nil, err
 	}
+	tx := txnFromContext(ctx)
+	if tx != nil && !nestedFromContext(ctx) {
+		it, err := db.execTxStmt(ctx, sql, cp, params, tx)
+		if err != nil {
+			return nil, err
+		}
+		return it.Materialize()
+	}
 	cx := &evalCtx{db: db, params: params, ctx: ctx}
+	switch {
+	case tx != nil:
+		// Nested inside a concurrent transaction's statement.
+		cx.txn, cx.snap = tx, tx.snap
+		if db.wal != nil {
+			cx.physLog = true
+		}
+	case db.txn != nil:
+		cx.txn = db.txn
+		cx.snap = snapshot{ts: db.clock.Load(), self: db.txn.stamp()}
+	default:
+		cx.snap = snapshot{ts: db.clock.Load()}
+	}
 	st, err := db.execStatement(cx, sql, cp)
 	if err != nil {
 		return nil, err
@@ -585,11 +950,11 @@ func (db *DB) QueryNestedContext(ctx context.Context, sql string, args ...any) (
 // RunExclusive runs fn under the exclusive database lock as one atomic
 // transactional unit: every QueryNested mutation fn performs is journalled
 // and committed (WAL-logged on durable databases) when fn returns nil, and
-// rolled back when it returns an error — joining the explicit transaction
-// if one is open, else in an implicit one. It is the entry point for typed
-// Go APIs that mutate the database outside a SQL statement — the moral
-// equivalent of a side-effecting UDF call. fn must use QueryNested, never
-// Query/Exec (which would self-deadlock).
+// rolled back when it returns an error — joining the ambient explicit
+// transaction if one is open, else in an implicit one. It is the entry
+// point for typed Go APIs that mutate the catalogue or need full isolation;
+// table-level work should prefer RunConcurrent. fn must use QueryNested,
+// never Query/Exec (which would self-deadlock).
 func (db *DB) RunExclusive(fn func() error) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -601,7 +966,8 @@ func (db *DB) RunExclusive(fn func() error) error {
 
 // RunShared runs fn under the shared database lock, for typed Go APIs
 // whose nested queries only read: fn's QueryNested calls may run
-// concurrently with other readers but never against an in-flight writer.
+// concurrently with other readers (and with concurrent writers, whose
+// uncommitted versions stay invisible).
 func (db *DB) RunShared(fn func() error) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -611,15 +977,106 @@ func (db *DB) RunShared(fn func() error) error {
 	return fn()
 }
 
-// OnRollback registers a compensating closure with the open transaction,
-// run (in reverse registration order) if and only if the enclosing work is
-// rolled back — by ROLLBACK, by a failed statement's unwind, or by a WAL
-// commit failure. Side-effecting UDFs and RunExclusive bodies use it to
-// keep state the SQL journal cannot see (e.g. the pgFMU session's live
-// instances) consistent with the journalled tables. The closure runs under
-// the exclusive database lock but outside any caller-held locks, so it may
-// take its own. No-op when no transaction is open (e.g. recovery replay).
-func (db *DB) OnRollback(fn func()) { db.recordUndo(fn) }
+// RunConcurrent runs fn as one concurrent transaction. The context passed
+// to fn carries the transaction: statements issued through
+// QueryNestedContext (or Query/Exec with that context) join it, reading the
+// transaction's snapshot and writing under its table latches — so a long
+// calibration transaction only blocks writers of the tables it writes,
+// never the rest of the database. fn returning nil commits; an error (or a
+// write conflict inside fn) rolls back. While the ambient database-wide
+// transaction is open, fn joins it under the exclusive lock instead,
+// preserving the historical semantics.
+func (db *DB) RunConcurrent(ctx context.Context, fn func(ctx context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrClosed
+	}
+	ambient := db.txn != nil
+	var tx *txnState
+	if !ambient {
+		tx = db.newTxn(true, true)
+		tx.snap = snapshot{ts: db.clock.Load(), self: tx.stamp()}
+		db.snaps.register(tx, tx.snap.ts)
+	}
+	db.mu.RUnlock()
+	if ambient {
+		return db.RunExclusive(func() error { return fn(ctx) })
+	}
+	finish := func(err error) error {
+		uerr := db.unwindConcurrent(tx)
+		db.releaseLatches(tx)
+		db.snaps.drop(tx)
+		if uerr != nil {
+			return errors.Join(err, uerr)
+		}
+		return err
+	}
+	if err := fn(context.WithValue(ctx, txnCtxKey{}, tx)); err != nil {
+		return finish(err)
+	}
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		db.releaseLatches(tx)
+		db.snaps.drop(tx)
+		return ErrClosed
+	}
+	ckptDue, err := db.commitTxn(tx)
+	if err != nil {
+		db.mu.RUnlock()
+		return finish(err)
+	}
+	db.autoAnalyzeTouched(tx)
+	db.mu.RUnlock()
+	db.releaseLatches(tx)
+	db.snaps.drop(tx)
+	if ckptDue {
+		_ = db.Checkpoint()
+	}
+	return nil
+}
+
+// unwindConcurrent rolls back a concurrent transaction from outside the
+// database lock. Pure DML rollback is just atomic stamp flips and needs no
+// lock; a transaction that journalled DDL undos or compensators takes the
+// exclusive lock so catalogue mutations and index rebuilds cannot race
+// readers. Caller still holds the transaction's latches (released after).
+func (db *DB) unwindConcurrent(t *txnState) error {
+	if t.ddl || len(t.undo) > 0 {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	}
+	return t.unwind(db, txnMarks{})
+}
+
+// OnRollback registers a compensating closure with the ambient open
+// transaction, run (in reverse registration order) if and only if the
+// enclosing work is rolled back — by ROLLBACK, by a failed statement's
+// unwind, or by a WAL commit failure. Side-effecting UDFs and RunExclusive
+// bodies use it to keep state the SQL journal cannot see (e.g. the pgFMU
+// session's live instances) consistent with the journalled tables. No-op
+// when no transaction is open (e.g. recovery replay). Inside a
+// RunConcurrent body, use OnRollbackContext instead.
+func (db *DB) OnRollback(fn func()) {
+	if db.txn != nil {
+		db.txn.recordUndo(fn)
+	}
+}
+
+// OnRollbackContext is OnRollback for code that may run inside a concurrent
+// transaction: if ctx carries one (see RunConcurrent), the compensator
+// registers there; otherwise it falls back to the ambient transaction.
+func (db *DB) OnRollbackContext(ctx context.Context, fn func()) {
+	if t := txnFromContext(ctx); t != nil {
+		t.recordUndo(fn)
+		return
+	}
+	db.OnRollback(fn)
+}
 
 // ExecScript runs a semicolon-separated statement sequence, returning the
 // result of the last statement. BEGIN/COMMIT/ROLLBACK inside the script
@@ -664,10 +1121,51 @@ func bindArgs(args []any) ([]variant.Value, error) {
 	return params, nil
 }
 
+// latchForWrite takes t's write latch for cx's transaction at execution
+// time. Callers hold db.mu in some mode, so waiting is never safe here —
+// the latch is probed, and a holder surfaces as ErrWriteConflict. The
+// concurrent DML path pre-acquires its target latch (with waiting) before
+// taking the shared lock, making this a no-op there. Recovery replay
+// (txn == nil) runs single-threaded under the exclusive lock and needs no
+// latch.
+func (db *DB) latchForWrite(cx *evalCtx, t *Table) error {
+	if cx.txn == nil {
+		return nil
+	}
+	return db.tryLatchTable(t, cx.txn)
+}
+
+// rlockBounded acquires db.mu.RLock with a bounded wait; lockBounded does
+// the same for the exclusive mode. Concurrent transactions use them for
+// per-statement acquisitions (see execTxStmt) so a statement issued while
+// holding caller-side locks cannot wait forever on a lock holder that is
+// itself waiting on the caller.
+func (db *DB) rlockBounded() error {
+	deadline := time.Now().Add(latchWaitTimeout)
+	for !db.mu.TryRLock() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: database is exclusively locked by another statement", ErrWriteConflict)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return nil
+}
+
+func (db *DB) lockBounded() error {
+	deadline := time.Now().Add(latchWaitTimeout)
+	for !db.mu.TryLock() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: database is locked by another statement", ErrWriteConflict)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return nil
+}
+
 // execLocked dispatches one parsed statement to its materializing executor.
 // cx.physLog asks DML executors to emit physical WAL records for each row
 // change (used when the statement text itself cannot be replayed because it
-// references UDFs).
+// references UDFs, and always on the concurrent path).
 func (db *DB) execLocked(cx *evalCtx, stmt Statement) (*ResultSet, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
@@ -677,10 +1175,15 @@ func (db *DB) execLocked(cx *evalCtx, stmt Statement) (*ResultSet, error) {
 	case *AnalyzeStmt:
 		return db.execAnalyze(s)
 	case *CreateTableStmt:
-		return db.execCreate(s)
+		return db.execCreate(cx, s)
 	case *DropTableStmt:
-		return db.execDrop(s)
+		return db.execDrop(cx, s)
 	case *CreateIndexStmt:
+		if t, ok := db.tables.get(s.Table); ok {
+			if err := db.latchForWrite(cx, t); err != nil {
+				return nil, err
+			}
+		}
 		created, err := db.tables.createIndex(IndexInfo{
 			Name:   s.Name,
 			Table:  s.Table,
@@ -692,7 +1195,8 @@ func (db *DB) execLocked(cx *evalCtx, stmt Statement) (*ResultSet, error) {
 		}
 		if created {
 			name := s.Name
-			db.recordUndo(func() { db.tables.dropIndex(name, true) })
+			cx.recordUndo(func() { db.tables.dropIndex(name, true) })
+			cx.markDDL()
 		}
 		return &ResultSet{}, nil
 	case *DropIndexStmt:
@@ -701,10 +1205,15 @@ func (db *DB) execLocked(cx *evalCtx, stmt Statement) (*ResultSet, error) {
 			return nil, err
 		}
 		if ix != nil {
-			db.recordUndo(func() { db.tables.attachIndex(t, ix) })
+			if lerr := db.latchForWrite(cx, t); lerr != nil {
+				db.tables.attachIndex(t, ix)
+				return nil, lerr
+			}
+			cx.recordUndo(func() { db.tables.attachIndex(t, ix) })
 			// Re-attachment restores the index as of the drop; a rollback
 			// rebuild brings it back in line with the restored rows.
-			db.touch(t)
+			cx.touch(t)
+			cx.markDDL()
 		}
 		return &ResultSet{}, nil
 	case *InsertStmt:
@@ -718,7 +1227,7 @@ func (db *DB) execLocked(cx *evalCtx, stmt Statement) (*ResultSet, error) {
 	}
 }
 
-func (db *DB) execCreate(s *CreateTableStmt) (*ResultSet, error) {
+func (db *DB) execCreate(cx *evalCtx, s *CreateTableStmt) (*ResultSet, error) {
 	seen := make(map[string]bool, len(s.Columns))
 	cols := make([]Column, len(s.Columns))
 	for i, c := range s.Columns {
@@ -730,31 +1239,83 @@ func (db *DB) execCreate(s *CreateTableStmt) (*ResultSet, error) {
 		cols[i] = Column{Name: c.Name, Type: c.Type}
 	}
 	t := &Table{Name: strings.ToLower(s.Name), Columns: cols}
+	t.view.Store(&tableView{})
 	created, err := db.tables.create(t, s.IfNotExists)
 	if err != nil {
 		return nil, err
 	}
 	if created {
-		db.recordUndo(func() { db.tables.drop(t.Name, true) })
+		cx.recordUndo(func() { db.tables.drop(t.Name, true) })
+		cx.markDDL()
 	}
 	return &ResultSet{}, nil
 }
 
-func (db *DB) execDrop(s *DropTableStmt) (*ResultSet, error) {
+func (db *DB) execDrop(cx *evalCtx, s *DropTableStmt) (*ResultSet, error) {
+	if t, ok := db.tables.get(s.Name); ok {
+		// A concurrent transaction with in-flight writes on the table would
+		// commit value-based WAL records after our logged DROP — refusing
+		// keeps log order consistent with visibility order.
+		if err := db.latchForWrite(cx, t); err != nil {
+			return nil, err
+		}
+	}
 	dropped, err := db.tables.drop(s.Name, s.IfExists)
 	if err != nil {
 		return nil, err
 	}
 	if dropped != nil {
-		db.recordUndo(func() { db.tables.restoreTable(dropped) })
+		cx.recordUndo(func() { db.tables.restoreTable(dropped) })
+		cx.markDDL()
 	}
 	return &ResultSet{}, nil
+}
+
+// insertVersion appends one row version for cx's transaction (or an
+// already-committed version during recovery replay) and maintains indexes.
+// The view is published before the index entries, so a concurrent index
+// probe can never surface a position beyond its own view header.
+func (db *DB) insertVersion(cx *evalCtx, t *Table, row Row) error {
+	m := &rowMeta{}
+	if tx := cx.txn; tx != nil {
+		m.begin.Store(tx.stamp())
+		tx.created = append(tx.created, m)
+	} else {
+		// Recovery replay rebuilds committed state directly.
+		m.begin.Store(1)
+	}
+	pos := t.appendVersion(row, m)
+	return t.insertIntoIndexes(pos, row)
+}
+
+// endVersion stamps one visible version as deleted/superseded by cx's
+// transaction, enforcing first-updater-wins: an end stamp already placed by
+// anyone else means a concurrent writer got to the row first, and the
+// statement fails with ErrWriteConflict. (For a version still visible to
+// this snapshot, such a stamp can only be a commit newer than the snapshot:
+// in-flight stamps are impossible under the table latch.)
+func (db *DB) endVersion(cx *evalCtx, t *Table, m *rowMeta) error {
+	tx := cx.txn
+	if tx == nil {
+		m.end.Store(1)
+		return nil
+	}
+	self := tx.stamp()
+	if e := m.end.Load(); e != 0 && e != self {
+		return fmt.Errorf("%w: row in table %q was modified after this transaction's snapshot", ErrWriteConflict, t.Name)
+	}
+	m.end.Store(self)
+	tx.ended = append(tx.ended, m)
+	return nil
 }
 
 func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
 	t, ok := db.tables.get(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, s.Table)
+	}
+	if err := db.latchForWrite(cx, t); err != nil {
+		return nil, err
 	}
 	// Column mapping: target index per provided value position.
 	targets := make([]int, 0, len(t.Columns))
@@ -772,9 +1333,7 @@ func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
 		}
 	}
 
-	oldLen := len(t.Rows)
-	db.recordUndo(func() { t.Rows = t.Rows[:oldLen] })
-	db.touch(t)
+	cx.touch(t)
 
 	appendRow := func(vals []variant.Value) error {
 		if len(vals) != len(targets) {
@@ -791,18 +1350,19 @@ func (db *DB) execInsert(cx *evalCtx, s *InsertStmt) (*ResultSet, error) {
 			}
 			row[idx] = v
 		}
-		t.Rows = append(t.Rows, row)
-		if err := t.insertIntoIndexes(len(t.Rows)-1, row); err != nil {
+		if err := db.insertVersion(cx, t, row); err != nil {
 			return err
 		}
 		if cx.physLog {
-			db.logWAL(walRecord{Op: "ins", Table: t.Name, Row: encodeWALValues(row)})
+			cx.logWAL(db, walRecord{Op: "ins", Table: t.Name, Row: encodeWALValues(row)})
 		}
 		return nil
 	}
 
 	count := 0
 	if s.Query != nil {
+		// Materializing the source first makes INSERT ... SELECT over the
+		// target table read a fixed snapshot (no Halloween re-reads).
 		rs, err := execSelect(cx, s.Query, nil)
 		if err != nil {
 			return nil, err
@@ -846,6 +1406,9 @@ func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, s.Table)
 	}
+	if err := db.latchForWrite(cx, t); err != nil {
+		return nil, err
+	}
 	setIdx := make([]int, len(s.Set))
 	for i, sc := range s.Set {
 		idx := t.columnIndex(sc.Column)
@@ -855,11 +1418,18 @@ func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
 		setIdx[i] = idx
 	}
 	src := sourceInfo{alias: strings.ToLower(s.Table), columns: t.Columns, width: len(t.Columns)}
-	db.touch(t)
+	cx.touch(t)
+	// The scan iterates a fixed view header: versions this statement appends
+	// are published past its end and are never rescanned (no Halloween
+	// problem).
+	v := t.loadView()
 	count := 0
-	for ri, row := range t.Rows {
+	for ri, row := range v.rows {
 		if err := cx.checkCancel(ri); err != nil {
 			return nil, err
+		}
+		if !cx.snap.visible(v.meta[ri]) {
+			continue
 		}
 		sc := bindScope([]sourceInfo{src}, row, nil)
 		rcx := cx.withScope(sc)
@@ -874,24 +1444,25 @@ func (db *DB) execUpdate(cx *evalCtx, s *UpdateStmt) (*ResultSet, error) {
 		}
 		newRow := append(Row(nil), row...)
 		for i, clause := range s.Set {
-			v, err := evalExpr(rcx, clause.Value)
+			val, err := evalExpr(rcx, clause.Value)
 			if err != nil {
 				return nil, err
 			}
-			cv, err := coerceToColumn(v, t.Columns[setIdx[i]].Type)
+			cv, err := coerceToColumn(val, t.Columns[setIdx[i]].Type)
 			if err != nil {
 				return nil, fmt.Errorf("sql: column %q: %w", clause.Column, err)
 			}
 			newRow[setIdx[i]] = cv
 		}
-		oldRow, pos := row, ri
-		db.recordUndo(func() { t.Rows[pos] = oldRow })
-		t.Rows[ri] = newRow
-		if err := t.updateIndexes(ri, row, newRow); err != nil {
+		if err := db.endVersion(cx, t, v.meta[ri]); err != nil {
+			return nil, err
+		}
+		if err := db.insertVersion(cx, t, newRow); err != nil {
 			return nil, err
 		}
 		if cx.physLog {
-			db.logWAL(walRecord{Op: "upd", Table: t.Name, Pos: ri, Row: encodeWALValues(newRow)})
+			cx.logWAL(db, walRecord{Op: "upd", Table: t.Name,
+				Old: encodeWALValues(row), Row: encodeWALValues(newRow)})
 		}
 		count++
 	}
@@ -908,44 +1479,39 @@ func (db *DB) execDelete(cx *evalCtx, s *DeleteStmt) (*ResultSet, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, s.Table)
 	}
+	if err := db.latchForWrite(cx, t); err != nil {
+		return nil, err
+	}
 	src := sourceInfo{alias: strings.ToLower(s.Table), columns: t.Columns, width: len(t.Columns)}
-	var kept []Row
-	var removed []int
+	cx.touch(t)
+	v := t.loadView()
 	deleted := 0
-	for ri, row := range t.Rows {
+	for ri, row := range v.rows {
 		if err := cx.checkCancel(ri); err != nil {
 			return nil, err
 		}
-		remove := true
+		if !cx.snap.visible(v.meta[ri]) {
+			continue
+		}
 		if s.Where != nil {
 			sc := bindScope([]sourceInfo{src}, row, nil)
 			ok, err := truthy(cx.withScope(sc), s.Where)
 			if err != nil {
 				return nil, err
 			}
-			remove = ok
-		}
-		if remove {
-			deleted++
-			if cx.physLog {
-				removed = append(removed, ri)
+			if !ok {
+				continue
 			}
-		} else {
-			kept = append(kept, row)
 		}
-	}
-	oldRows := t.Rows
-	db.recordUndo(func() { t.Rows = oldRows })
-	db.touch(t)
-	t.Rows = kept
-	if deleted > 0 {
-		// Deletion compacts row positions, so indexes rebuild from scratch.
-		if err := t.rebuildIndexes(); err != nil {
+		// DELETE is an end stamp: versions stay in place (vacuum reclaims
+		// them) and indexes need no maintenance — probes filter visibility.
+		if err := db.endVersion(cx, t, v.meta[ri]); err != nil {
 			return nil, err
 		}
 		if cx.physLog {
-			db.logWAL(walRecord{Op: "del", Table: t.Name, Del: removed})
+			cx.logWAL(db, walRecord{Op: "del", Table: t.Name, Old: encodeWALValues(row)})
 		}
+		deleted++
 	}
 	t.noteMutations(deleted)
 	out := &ResultSet{Columns: []Column{{Name: "deleted", Type: "integer"}}}
@@ -956,10 +1522,50 @@ func (db *DB) execDelete(cx *evalCtx, s *DeleteStmt) (*ResultSet, error) {
 }
 
 // InsertRow appends a row of Go values to a table directly (bulk-load path
-// used by dataset loaders; bypasses SQL parsing). Like any write it joins
-// the open transaction — or forms an implicit one — and is WAL-logged as a
-// physical row record on a durable database.
+// used by dataset loaders; bypasses SQL parsing). It runs on the concurrent
+// write path — loaders on disjoint tables proceed in parallel — unless the
+// ambient transaction is open, in which case it joins it exclusively. Like
+// any write it is WAL-logged as a physical row record on a durable
+// database.
 func (db *DB) InsertRow(table string, values ...any) error {
+	buildRow := func(t *Table) (Row, error) {
+		if len(values) != len(t.Columns) {
+			return nil, fmt.Errorf("sql: table %q has %d columns, got %d values", table, len(t.Columns), len(values))
+		}
+		row := make(Row, len(values))
+		for i, v := range values {
+			vv, err := variant.FromAny(v)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceToColumn(vv, t.Columns[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("sql: column %q: %w", t.Columns[i].Name, err)
+			}
+			row[i] = cv
+		}
+		return row, nil
+	}
+	insert := func(cx *evalCtx, t *Table) error {
+		row, err := buildRow(t)
+		if err != nil {
+			return err
+		}
+		cx.touch(t)
+		if err := db.insertVersion(cx, t, row); err != nil {
+			return err
+		}
+		t.noteMutations(1)
+		cx.logWAL(db, walRecord{Op: "ins", Table: t.Name, Row: encodeWALValues(row)})
+		return nil
+	}
+
+	_, handled, err := db.runConcurrentWrite(context.Background(), table, nil, func(cx *evalCtx, t *Table) (RowStream, error) {
+		return nil, insert(cx, t)
+	})
+	if handled {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -969,33 +1575,12 @@ func (db *DB) InsertRow(table string, values ...any) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
-	if len(values) != len(t.Columns) {
-		return fmt.Errorf("sql: table %q has %d columns, got %d values", table, len(t.Columns), len(values))
-	}
-	row := make(Row, len(values))
-	for i, v := range values {
-		vv, err := variant.FromAny(v)
-		if err != nil {
-			return err
-		}
-		cv, err := coerceToColumn(vv, t.Columns[i].Type)
-		if err != nil {
-			return fmt.Errorf("sql: column %q: %w", t.Columns[i].Name, err)
-		}
-		row[i] = cv
-	}
-
 	return db.runInTxn(func() error {
-		oldLen := len(t.Rows)
-		db.recordUndo(func() { t.Rows = t.Rows[:oldLen] })
-		db.touch(t)
-		t.Rows = append(t.Rows, row)
-		if err := t.insertIntoIndexes(len(t.Rows)-1, row); err != nil {
+		cx := &evalCtx{db: db, ctx: context.Background(), txn: db.txn, snap: db.txn.snap}
+		if err := db.latchForWrite(cx, t); err != nil {
 			return err
 		}
-		t.noteMutations(1)
-		db.logWAL(walRecord{Op: "ins", Table: t.Name, Row: encodeWALValues(row)})
-		return nil
+		return insert(cx, t)
 	})
 }
 

@@ -42,7 +42,15 @@ func (db *DB) dumpLocked(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "CREATE TABLE %s (%s);\n", quoteIdent(t.Name), strings.Join(cols, ", ")); err != nil {
 			return err
 		}
-		for _, row := range t.Rows {
+		// Dump the latest committed state: versions visible to a snapshot at
+		// the current clock. In-flight writers (holding table latches) keep
+		// their uncommitted versions out of the dump by construction.
+		snap := snapshot{ts: db.clock.Load()}
+		v := t.loadView()
+		for pos, row := range v.rows {
+			if !snap.visible(v.meta[pos]) {
+				continue
+			}
 			vals := make([]string, len(row))
 			for i, v := range row {
 				vals[i] = v.SQLLiteral()

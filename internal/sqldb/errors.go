@@ -25,4 +25,11 @@ var (
 
 	// ErrClosed is returned by any operation on a closed DB or Stmt.
 	ErrClosed = errors.New("sql: database is closed")
+
+	// ErrWriteConflict is returned when a write loses a write-write race:
+	// another transaction updated or deleted a row this one also wants to
+	// change (first updater wins), or holds a table write latch this one
+	// cannot wait for without risking deadlock. The losing transaction's
+	// statement fails; retry it (or the whole transaction) to proceed.
+	ErrWriteConflict = errors.New("sql: write conflict with a concurrent transaction")
 )

@@ -73,13 +73,47 @@ type evalCtx struct {
 	// ctx is the statement's context; nil means background. Long row loops
 	// poll it via checkCancel, and context-aware UDFs receive it.
 	ctx context.Context
+	// txn is the transaction this statement executes in (nil on the plain
+	// read path and during recovery replay); snap is the MVCC snapshot every
+	// table scan filters through (see mvcc.go).
+	txn  *txnState
+	snap snapshot
 	// physLog asks DML executors to emit physical WAL records per row
-	// change (set when the statement text is not replayable; see txn.go).
+	// change (set when the statement text is not replayable, and always on
+	// the concurrent write path; see txn.go).
 	physLog bool
 }
 
 func (cx *evalCtx) withScope(s *scope) *evalCtx {
-	return &evalCtx{db: cx.db, params: cx.params, scope: s, ctx: cx.ctx, physLog: cx.physLog}
+	return &evalCtx{db: cx.db, params: cx.params, scope: s, ctx: cx.ctx,
+		txn: cx.txn, snap: cx.snap, physLog: cx.physLog}
+}
+
+// recordUndo, touch, logWAL, and markDDL forward to the statement's
+// transaction; all are no-ops during recovery replay (txn == nil), which
+// rebuilds committed state and never rolls back.
+func (cx *evalCtx) recordUndo(fn func()) {
+	if cx.txn != nil {
+		cx.txn.recordUndo(fn)
+	}
+}
+
+func (cx *evalCtx) touch(t *Table) {
+	if cx.txn != nil {
+		cx.txn.touch(t)
+	}
+}
+
+func (cx *evalCtx) logWAL(db *DB, rec walRecord) {
+	if cx.txn != nil {
+		cx.txn.logWAL(db, rec)
+	}
+}
+
+func (cx *evalCtx) markDDL() {
+	if cx.txn != nil {
+		cx.txn.ddl = true
+	}
 }
 
 // ctxOrBackground returns the statement context for handing to UDFs.

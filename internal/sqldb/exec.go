@@ -162,8 +162,9 @@ func joinItem(cx *evalCtx, left []Row, sources []sourceInfo, item FromItem, oute
 			if !ok {
 				return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, item.Table)
 			}
-			// Snapshot rows so mutations during iteration don't interfere.
-			rs := &ResultSet{Columns: t.Columns, Rows: append([]Row(nil), t.Rows...)}
+			// Resolve the versions visible to this statement's snapshot; the
+			// result is private, so later mutations never interfere.
+			rs := &ResultSet{Columns: t.Columns, Rows: visibleRows(cx, t)}
 			return rs, nil
 		case item.Func != nil:
 			args := make([]variant.Value, len(item.Func.Args))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/variant"
@@ -28,8 +29,16 @@ type IndexInfo struct {
 // index is a secondary index over a single column. Keys are the column's
 // stored (coerced) values; NULLs are never indexed, matching SQL predicate
 // semantics where `col = x` and `col BETWEEN lo AND hi` can't select NULL.
-// Row ids are positions into Table.Rows, kept ascending within each key.
-// All mutation happens under the DB's exclusive lock.
+// Row ids are version positions in the table's view arrays, kept ascending
+// within each key.
+//
+// Index maintenance is insert-only on the hot path: every new row version
+// gets an entry, while DELETE and rollback leave entries behind — a probe
+// re-checks each candidate's visibility (and its own view bound) anyway, so
+// stale entries cost a filtered candidate, never a wrong result. Full
+// rebuilds (DDL rollback, vacuum compaction, recovery) run under the DB's
+// exclusive lock. ix.mu makes the insert/lookup pair safe when concurrent
+// writers grow the index while snapshot readers probe it.
 type index struct {
 	name   string // lowercase
 	table  string // lowercase
@@ -37,6 +46,7 @@ type index struct {
 	kind   string // IndexHash or IndexOrdered
 	col    int    // column position in the table
 
+	mu      sync.RWMutex
 	hash    map[string][]int // IndexHash: key -> row positions
 	entries []indexEntry     // IndexOrdered: sorted by val, distinct keys
 }
@@ -78,8 +88,10 @@ func hashKey(v variant.Value) string {
 	}
 }
 
-// build (re)constructs the index from the table's current rows.
+// build (re)constructs the index from a table's row versions.
 func (ix *index) build(rows []Row) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if ix.kind == IndexHash {
 		ix.hash = make(map[string][]int)
 	} else {
@@ -121,7 +133,7 @@ func (ix *index) search(v variant.Value) (int, bool, error) {
 	return lo, false, nil
 }
 
-// insert adds one row position under the value's key.
+// insert adds one row position under the value's key. Caller holds ix.mu.
 func (ix *index) insert(pos int, v variant.Value) error {
 	if v.IsNull() {
 		return nil
@@ -145,62 +157,25 @@ func (ix *index) insert(pos int, v variant.Value) error {
 	return nil
 }
 
-// remove drops one row position previously indexed under v.
-func (ix *index) remove(pos int, v variant.Value) error {
-	if v.IsNull() {
-		return nil
-	}
-	if ix.kind == IndexHash {
-		k := hashKey(v)
-		if rest := removePos(ix.hash[k], pos); len(rest) == 0 {
-			delete(ix.hash, k)
-		} else {
-			ix.hash[k] = rest
-		}
-		return nil
-	}
-	i, exact, err := ix.search(v)
-	if err != nil {
-		return fmt.Errorf("sql: index %q: %w", ix.name, err)
-	}
-	if !exact {
-		return nil
-	}
-	if rest := removePos(ix.entries[i].rows, pos); len(rest) == 0 {
-		ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
-	} else {
-		ix.entries[i].rows = rest
-	}
-	return nil
+// insertLocked is insert with ix.mu taken — the per-row-version entry point
+// used by writers that run concurrently with probes.
+func (ix *index) insertLocked(pos int, v variant.Value) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.insert(pos, v)
 }
 
-func removePos(rows []int, pos int) []int {
-	for i, r := range rows {
-		if r == pos {
-			return append(rows[:i], rows[i+1:]...)
-		}
-	}
-	return rows
-}
-
-// update moves a row position from its old key to its new key.
-func (ix *index) update(pos int, old, new variant.Value) error {
-	if old.Equal(new) {
-		return nil
-	}
-	if err := ix.remove(pos, old); err != nil {
-		return err
-	}
-	return ix.insert(pos, new)
-}
-
-// lookupEqual returns the row positions whose key equals v.
+// lookupEqual returns a private copy of the row positions whose key equals
+// v: ordered-index inserts shift entries in place, so handing out the
+// backing array would race later writers.
 func (ix *index) lookupEqual(v variant.Value) ([]int, error) {
 	if v.IsNull() {
 		return nil, nil
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if ix.kind == IndexHash {
-		return ix.hash[hashKey(v)], nil
+		return append([]int(nil), ix.hash[hashKey(v)]...), nil
 	}
 	i, exact, err := ix.search(v)
 	if err != nil {
@@ -209,15 +184,18 @@ func (ix *index) lookupEqual(v variant.Value) ([]int, error) {
 	if !exact {
 		return nil, nil
 	}
-	return ix.entries[i].rows, nil
+	return append([]int(nil), ix.entries[i].rows...), nil
 }
 
 // lookupRange returns row positions with lo ⟨op⟩ key ⟨op⟩ hi on an ordered
-// index. nil bounds are open; loInc/hiInc select >=,<= over >,<.
+// index. nil bounds are open; loInc/hiInc select >=,<= over >,<. The result
+// is a private slice (see lookupEqual).
 func (ix *index) lookupRange(lo, hi *variant.Value, loInc, hiInc bool) ([]int, error) {
 	if ix.kind != IndexOrdered {
 		return nil, fmt.Errorf("sql: index %q does not support range lookups", ix.name)
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	start := 0
 	if lo != nil {
 		if lo.IsNull() {
@@ -440,7 +418,7 @@ func probeIndex(cx *evalCtx, t *Table, ix *index, p *indexProbe) ([]int, bool) {
 	return positions, true
 }
 
-// --- Table-side index maintenance (called under the DB write lock) ---
+// --- Table-side index maintenance ---
 
 // findIndex returns an index on column; needOrdered restricts to ordered
 // indexes (required for range probes). Equality probes prefer hash.
@@ -464,31 +442,26 @@ func (t *Table) findIndex(column string, needOrdered bool) *index {
 	return fallback
 }
 
-// insertIntoIndexes registers a newly appended row (position = len(Rows)-1).
+// insertIntoIndexes registers a newly appended row version. The view is
+// published before this runs (see DB.insertVersion), so a probe that
+// surfaces the new position always finds it within its own view header —
+// or, bound by an older header, skips it.
 func (t *Table) insertIntoIndexes(pos int, row Row) error {
 	for _, ix := range t.indexes {
-		if err := ix.insert(pos, row[ix.col]); err != nil {
+		if err := ix.insertLocked(pos, row[ix.col]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// updateIndexes re-keys row pos after an in-place UPDATE.
-func (t *Table) updateIndexes(pos int, old, new Row) error {
-	for _, ix := range t.indexes {
-		if err := ix.update(pos, old[ix.col], new[ix.col]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// rebuildIndexes reconstructs every index from scratch — required after
-// DELETE compacts Rows and shifts positions.
+// rebuildIndexes reconstructs every index over the current version array —
+// required after positions move (vacuum compaction) or after a DDL rollback
+// re-attaches a detached index. Caller holds the DB's exclusive lock.
 func (t *Table) rebuildIndexes() error {
+	rows := t.loadView().rows
 	for _, ix := range t.indexes {
-		if err := ix.build(t.Rows); err != nil {
+		if err := ix.build(rows); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,519 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMVCCNoDirtyReads: a reader (plain query or Tx) never observes another
+// transaction's uncommitted writes.
+func TestMVCCNoDirtyReads(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (a int)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1)`)
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t VALUES (2)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE t SET a = 10 WHERE a = 1`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain statement: sees only committed state.
+	if n := countRows(t, db, "t"); n != 1 {
+		t.Fatalf("dirty read: plain count = %d, want 1", n)
+	}
+	rs := mustQuery(t, db, `SELECT a FROM t`)
+	if v, _ := rs.Rows[0][0].AsInt(); v != 1 {
+		t.Fatalf("dirty read: plain reader saw a = %d, want 1", v)
+	}
+
+	// A second transaction: same.
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := tx2.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := rs2.Rows[0][0].AsInt(); n != 1 {
+		t.Fatalf("dirty read: tx reader saw %d rows, want 1", n)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countRows(t, db, "t"); n != 2 {
+		t.Fatalf("after commit count = %d, want 2", n)
+	}
+}
+
+// TestMVCCRepeatableReadInTx: a transaction keeps reading its Begin-time
+// snapshot while other sessions commit around it.
+func TestMVCCRepeatableReadInTx(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (a int)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1), (2)`)
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := tx.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Outside the transaction: insert, update, delete, all committed.
+	mustExec(t, db, `INSERT INTO t VALUES (3)`)
+	mustExec(t, db, `UPDATE t SET a = 20 WHERE a = 2`)
+	mustExec(t, db, `DELETE FROM t WHERE a = 1`)
+
+	after, err := tx.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, _ := before.Rows[0][0].AsInt()
+	na, _ := after.Rows[0][0].AsInt()
+	if nb != 2 || na != 2 {
+		t.Fatalf("repeatable read violated: count %d then %d, want 2 both times", nb, na)
+	}
+	rs, err := tx.Query(`SELECT a FROM t WHERE a = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("tx lost sight of its snapshot row a=2 (got %d rows)", len(rs.Rows))
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-transaction, the committed reality is visible.
+	rs = mustQuery(t, db, `SELECT count(*) FROM t WHERE a = 20`)
+	if n, _ := rs.Rows[0][0].AsInt(); n != 1 {
+		t.Fatalf("committed update missing after tx end")
+	}
+}
+
+// TestMVCCLostUpdateRejected: two overlapping transactions updating the
+// same row — the second to touch it gets ErrWriteConflict (first-updater-
+// wins), not a silent lost update.
+func TestMVCCLostUpdateRejected(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE acct (id int, bal int)`)
+	mustExec(t, db, `INSERT INTO acct VALUES (1, 100)`)
+
+	tx1, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tx1 updates and commits first.
+	if _, err := tx1.Exec(`UPDATE acct SET bal = bal + 10 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// tx2's snapshot predates tx1's commit; its update must conflict.
+	_, err = tx2.Exec(`UPDATE acct SET bal = bal + 5 WHERE id = 1`)
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("lost update not rejected: got %v, want ErrWriteConflict", err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rs := mustQuery(t, db, `SELECT bal FROM acct WHERE id = 1`)
+	if v, _ := rs.Rows[0][0].AsInt(); v != 110 {
+		t.Fatalf("bal = %d, want 110 (only tx1's update)", v)
+	}
+}
+
+// TestMVCCWriteConflictWhileHolderInFlight: the same conflict surfaces when
+// the first updater is still in flight (bounded latch wait, not deadlock).
+func TestMVCCWriteConflictWhileHolderInFlight(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (a int)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1)`)
+
+	tx1, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx1.Exec(`UPDATE t SET a = 2 WHERE a = 1`); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tx2.Exec(`UPDATE t SET a = 3 WHERE a = 1`)
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("in-flight conflict: got %v, want ErrWriteConflict", err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rs := mustQuery(t, db, `SELECT a FROM t`)
+	if v, _ := rs.Rows[0][0].AsInt(); v != 2 {
+		t.Fatalf("a = %d, want 2", v)
+	}
+}
+
+// TestSnapshotOpenRowIterDuringConcurrentCommit: an open streaming iterator
+// keeps serving the rows of its statement-time snapshot while another
+// session commits into the same table mid-iteration.
+func TestSnapshotOpenRowIterDuringConcurrentCommit(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (a int)`)
+	for i := 0; i < 100; i++ {
+		mustExec(t, db, `INSERT INTO t VALUES ($1)`, i)
+	}
+
+	it, err := db.QueryRows(`SELECT a FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for it.Next() {
+		seen++
+		if seen == 10 {
+			// Mid-iteration: another session deletes everything and inserts
+			// new rows, committing immediately.
+			mustExec(t, db, `DELETE FROM t`)
+			mustExec(t, db, `INSERT INTO t VALUES (1000)`)
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 100 {
+		t.Fatalf("open iterator saw %d rows, want its snapshot's 100", seen)
+	}
+	if n := countRows(t, db, "t"); n != 1 {
+		t.Fatalf("post-iteration count = %d, want 1", n)
+	}
+}
+
+// TestMVCCRollbackKeepsIndexesConsistent: a rolled-back transaction's
+// inserts/updates leave index probes returning exactly the committed rows,
+// with concurrent readers running throughout.
+func TestMVCCRollbackKeepsIndexesConsistent(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (k int, v int)`)
+	mustExec(t, db, `CREATE INDEX t_k ON t (k)`)
+	for i := 0; i < 20; i++ {
+		mustExec(t, db, `INSERT INTO t VALUES ($1, $2)`, i, i*10)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rs, err := db.Query(`SELECT v FROM t WHERE k = 7`)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(rs.Rows) != 1 {
+				t.Errorf("indexed probe got %d rows, want 1", len(rs.Rows))
+				return
+			}
+			if v, _ := rs.Rows[0][0].AsInt(); v != 70 {
+				t.Errorf("indexed probe saw v = %d, want 70", v)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 25; i++ {
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Exec(`UPDATE t SET v = -1 WHERE k = 7`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Exec(`INSERT INTO t VALUES (7, -2)`); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	rs := mustQuery(t, db, `SELECT v FROM t WHERE k = 7`)
+	if len(rs.Rows) != 1 {
+		t.Fatalf("after rollbacks: %d rows for k=7, want 1", len(rs.Rows))
+	}
+	if v, _ := rs.Rows[0][0].AsInt(); v != 70 {
+		t.Fatalf("after rollbacks: v = %d, want 70", v)
+	}
+}
+
+// TestMVCCVacuumReclaimsDeadVersions: churned rows accumulate versions;
+// Vacuum drops every version invisible to the oldest active snapshot,
+// returning the table to ~1 version per live row.
+func TestMVCCVacuumReclaimsDeadVersions(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (id int, v int)`)
+	const rows = 10
+	for i := 0; i < rows; i++ {
+		mustExec(t, db, `INSERT INTO t VALUES ($1, 0)`, i)
+	}
+	for round := 1; round <= 5; round++ {
+		mustExec(t, db, `UPDATE t SET v = $1`, round)
+	}
+	versions, live, err := db.TableVersions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != rows {
+		t.Fatalf("live = %d, want %d", live, rows)
+	}
+	if versions != rows*6 {
+		t.Fatalf("pre-vacuum versions = %d, want %d", versions, rows*6)
+	}
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	versions, live, err = db.TableVersions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != rows || versions != rows {
+		t.Fatalf("post-vacuum versions = %d live = %d, want %d/%d", versions, live, rows, rows)
+	}
+	rs := mustQuery(t, db, `SELECT count(*) FROM t WHERE v = 5`)
+	if n, _ := rs.Rows[0][0].AsInt(); n != rows {
+		t.Fatalf("post-vacuum data damaged: %d rows at v=5, want %d", n, rows)
+	}
+}
+
+// TestMVCCVacuumRespectsOpenSnapshots: versions an open transaction can
+// still see survive Vacuum; they are reclaimed once the snapshot closes.
+func TestMVCCVacuumRespectsOpenSnapshots(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (a int)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1)`)
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Query(`SELECT * FROM t`); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `UPDATE t SET a = 2`)
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tx.Query(`SELECT a FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("vacuum destroyed an open snapshot's row (got %d rows)", len(rs.Rows))
+	}
+	if v, _ := rs.Rows[0][0].AsInt(); v != 1 {
+		t.Fatalf("open snapshot sees a = %d, want 1", v)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	versions, live, err := db.TableVersions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if versions != 1 || live != 1 {
+		t.Fatalf("after snapshot closed: versions = %d live = %d, want 1/1", versions, live)
+	}
+}
+
+// TestConcurrentWritersDisjointTables: N sessions inserting into their own
+// tables in parallel (each row an independent implicit transaction) while
+// analytical readers join across the tables — the tentpole workload. Run
+// under -race in CI.
+func TestConcurrentWritersDisjointTables(t *testing.T) {
+	db := New()
+	const writers = 4
+	const rowsPer = 200
+	for w := 0; w < writers; w++ {
+		mustExec(t, db, fmt.Sprintf(`CREATE TABLE w%d (id int, v int)`, w))
+	}
+	mustExec(t, db, `CREATE TABLE dim (id int, name text)`)
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, `INSERT INTO dim VALUES ($1, $2)`, i, fmt.Sprintf("d%d", i))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := fmt.Sprintf(`INSERT INTO w%d VALUES ($1, $2)`, w)
+			for i := 0; i < rowsPer; i++ {
+				if _, err := db.Exec(q, i, i%10); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent analytical readers: hash join against the dimension table.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			q := fmt.Sprintf(`SELECT count(*) FROM w%d a, dim d WHERE a.v = d.id`, r%writers)
+			for i := 0; i < 30; i++ {
+				if _, err := db.Query(q); err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for w := 0; w < writers; w++ {
+		if n := countRows(t, db, fmt.Sprintf("w%d", w)); n != rowsPer {
+			t.Fatalf("table w%d has %d rows, want %d", w, n, rowsPer)
+		}
+	}
+}
+
+// TestConcurrentTxDisjointTablesCommitInParallel: explicit transactions on
+// disjoint tables proceed and commit concurrently — neither blocks the
+// other, both commit.
+func TestConcurrentTxDisjointTablesCommitInParallel(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE a (x int)`)
+	mustExec(t, db, `CREATE TABLE b (x int)`)
+
+	txA, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txB, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave writes: each holds only its own table's latch.
+	for i := 0; i < 10; i++ {
+		if _, err := txA.Exec(`INSERT INTO a VALUES ($1)`, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := txB.Exec(`INSERT INTO b VALUES ($1)`, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := txA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txB.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countRows(t, db, "a"); n != 10 {
+		t.Fatalf("a has %d rows, want 10", n)
+	}
+	if n := countRows(t, db, "b"); n != 10 {
+		t.Fatalf("b has %d rows, want 10", n)
+	}
+}
+
+// benchMixedWorkload measures one round of the tentpole workload: four
+// writer sessions each inserting a batch of rows (into disjoint tables or
+// all into one), while two analytical readers run hash joins against a
+// dimension table. Comparing the disjoint and same-table variants shows
+// the win from per-table write latches.
+func benchMixedWorkload(b *testing.B, disjoint bool) {
+	db := New()
+	const writers = 4
+	const batch = 50
+	exec := func(sql string, args ...any) {
+		if _, err := db.Exec(sql, args...); err != nil {
+			b.Fatalf("Exec(%q): %v", sql, err)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		exec(fmt.Sprintf(`CREATE TABLE w%d (id int, v int)`, w))
+	}
+	exec(`CREATE TABLE dim (id int, name text)`)
+	for i := 0; i < 10; i++ {
+		exec(`INSERT INTO dim VALUES ($1, $2)`, i, fmt.Sprintf("d%d", i))
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				tbl := 0
+				if disjoint {
+					tbl = w
+				}
+				q := fmt.Sprintf(`INSERT INTO w%d VALUES ($1, $2)`, tbl)
+				for i := 0; i < batch; i++ {
+					if _, err := db.Exec(q, i, i%10); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				q := fmt.Sprintf(`SELECT count(*) FROM w%d a, dim d WHERE a.v = d.id`, r%writers)
+				for i := 0; i < 5; i++ {
+					if _, err := db.Query(q); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkMixedWorkload: 4 writers on disjoint tables + 2 hash-join
+// readers per round; writers hold independent table latches and commit in
+// parallel.
+func BenchmarkMixedWorkload(b *testing.B) { benchMixedWorkload(b, true) }
+
+// BenchmarkMixedWorkloadSameTable: the same load with every writer
+// targeting one table — serialized on its latch; the contended baseline.
+func BenchmarkMixedWorkloadSameTable(b *testing.B) { benchMixedWorkload(b, false) }

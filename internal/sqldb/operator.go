@@ -530,11 +530,15 @@ func joinEstimate(leftEst, rightEst float64, step *opJoinStep, right *opSource) 
 		return math.Max(leftEst*rightEst/3, 1)
 	}
 	d := math.Max(math.Min(leftEst, rightEst), 1)
-	if t := right.table; t != nil && t.stats != nil {
+	if t := right.table; t != nil {
+		st := t.stats.Load()
 		for _, re := range step.keysR {
+			if st == nil {
+				break
+			}
 			if ref, isRef := re.(*ColumnRef); isRef {
 				if ci := t.columnIndex(ref.Name); ci >= 0 {
-					if dd := t.stats.distinctFor(ci); dd > 0 {
+					if dd := st.distinctFor(ci); dd > 0 {
 						d = math.Max(d, float64(dd))
 					}
 				}
@@ -707,13 +711,13 @@ func (src *opSource) open(cx *evalCtx, tailCx *evalCtx, ordered *orderedScanInfo
 		}
 		var rows []Row
 		if ordered != nil {
-			rows = orderedSnapshot(t, ordered)
+			rows = orderedSnapshot(cx, t, ordered)
 		} else if cand, ok := src.access.lookupRows(cx, t); ok {
 			rows = cand
 		} else {
-			// Snapshot the row slice: writers replace rows, never mutate
-			// them in place, so the copy is a consistent point-in-time view.
-			rows = append([]Row(nil), t.Rows...)
+			// Materialize the versions visible to this statement's snapshot;
+			// the private slice is a consistent point-in-time view.
+			rows = visibleRows(cx, t)
 		}
 		if src.parallel {
 			env := &compEnv{params: tailCx.params, ctx: tailCx.ctx}
@@ -784,24 +788,31 @@ func lenientPred(ce compiledExpr) compiledExpr {
 	}
 }
 
-// orderedSnapshot materializes t's rows in index-key order: NULLs first
-// ascending (variant.Compare sorts NULL before everything), last descending,
-// ascending table positions within equal keys — the stable sort's exact
-// output. Caller holds the database lock, so index and heap agree.
-func orderedSnapshot(t *Table, o *orderedScanInfo) []Row {
-	n := len(t.Rows)
+// orderedSnapshot materializes t's visible versions in index-key order:
+// NULLs first ascending (variant.Compare sorts NULL before everything), last
+// descending, ascending table positions within equal keys — the stable
+// sort's exact output. The view is resolved before the index walk so every
+// entry position is bounded by the view, and each position passes through
+// the statement's snapshot-visibility filter; concurrent inserts published
+// after the view header was loaded are invisible by construction.
+func orderedSnapshot(cx *evalCtx, t *Table, o *orderedScanInfo) []Row {
+	v := t.loadView()
+	n := len(v.rows)
 	order := make([]int, 0, n)
 	present := make([]bool, n)
 	appendEntry := func(rows []int) {
 		ps := append([]int(nil), rows...)
 		sort.Ints(ps)
 		for _, p := range ps {
-			if p < n {
+			if p < n && !present[p] {
 				present[p] = true
-				order = append(order, p)
+				if cx.snap.visible(v.meta[p]) {
+					order = append(order, p)
+				}
 			}
 		}
 	}
+	o.ix.mu.RLock()
 	if o.desc {
 		for i := len(o.ix.entries) - 1; i >= 0; i-- {
 			appendEntry(o.ix.entries[i].rows)
@@ -811,16 +822,17 @@ func orderedSnapshot(t *Table, o *orderedScanInfo) []Row {
 			appendEntry(o.ix.entries[i].rows)
 		}
 	}
+	o.ix.mu.RUnlock()
 	var nulls []int
 	for p := 0; p < n; p++ {
-		if !present[p] {
+		if !present[p] && cx.snap.visible(v.meta[p]) {
 			nulls = append(nulls, p)
 		}
 	}
 	out := make([]Row, 0, n)
 	emit := func(ps []int) {
 		for _, p := range ps {
-			out = append(out, t.Rows[p])
+			out = append(out, v.rows[p])
 		}
 	}
 	if o.desc {

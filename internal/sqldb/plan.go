@@ -295,10 +295,11 @@ type accessPath struct {
 // otherwise. Every path returns a candidate superset — the executor always
 // re-verifies the full WHERE — so the choice affects speed, never results.
 func chooseAccessPath(db *DB, t *Table, alias string, where Expr) accessPath {
-	n := len(t.Rows)
-	analyzed := t.stats != nil
+	n := t.versionCount()
+	st := t.stats.Load()
+	analyzed := st != nil
 	if analyzed {
-		n = t.stats.rowCount
+		n = st.rowCount
 	}
 	seq := accessPath{kind: accessSeq, estRows: float64(n), tableRows: n, analyzed: analyzed}
 	if where == nil || db.planner.DisableIndexScan || len(t.indexes) == 0 {
@@ -322,7 +323,7 @@ func chooseAccessPath(db *DB, t *Table, alias string, where Expr) accessPath {
 			probeCost = 1
 		}
 		if p.eq != nil {
-			if d := t.stats.distinctFor(ix.col); d > 0 {
+			if d := st.distinctFor(ix.col); d > 0 {
 				est = float64(n) / float64(d)
 			} else {
 				est = float64(n) * defaultEqSelectivity
@@ -361,18 +362,23 @@ func (ap *accessPath) lookupRows(cx *evalCtx, t *Table) ([]Row, bool) {
 	if ap.kind == accessSeq {
 		return nil, false
 	}
+	// Resolve the view BEFORE probing: any position the index can surface
+	// beyond this header belongs to a version committed after the probe
+	// began, which our snapshot could not see anyway.
+	v := t.loadView()
 	positions, ok := probeIndex(cx, t, ap.ix, ap.probe)
 	if !ok {
 		return nil, false
 	}
-	// lookupEqual returns the index's backing slice; sort a copy — this may
-	// run under the shared lock, and sorting in place would race with
-	// concurrent readers of the same bucket.
-	positions = append([]int(nil), positions...)
 	sort.Ints(positions)
-	rows := make([]Row, len(positions))
-	for i, pos := range positions {
-		rows[i] = t.Rows[pos]
+	rows := make([]Row, 0, len(positions))
+	for _, pos := range positions {
+		// Index entries are insert-only: deleted, superseded, and aborted
+		// versions keep theirs, so each candidate re-checks visibility.
+		if pos >= len(v.rows) || !cx.snap.visible(v.meta[pos]) {
+			continue
+		}
+		rows = append(rows, v.rows[pos])
 	}
 	return rows, true
 }
@@ -544,9 +550,10 @@ func (p *physPlan) run(cx *evalCtx) (RowStream, error) {
 	if r, ok := p.access.lookupRows(cx, p.table); ok {
 		rows = r
 	} else {
-		// Snapshot the row slice: writers replace rows, never mutate them in
-		// place, so the copy is a consistent point-in-time view.
-		rows = append([]Row(nil), p.table.Rows...)
+		// Materialize the versions visible to this statement's snapshot; the
+		// slice is private, so the stream needs no locks and stays pinned to
+		// the snapshot while writers commit underneath it.
+		rows = visibleRows(cx, p.table)
 	}
 
 	// parallel is only planned for LIMIT/OFFSET-free statements, so the

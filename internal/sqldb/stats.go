@@ -12,14 +12,17 @@ import "fmt"
 // Statistics are advisory, not transactional: they are not journalled, not
 // WAL-logged, and survive a rollback unchanged — a stale estimate can only
 // produce a slower plan, never a wrong result, because every access path
-// re-verifies the full WHERE clause.
+// re-verifies the full WHERE clause. Both Table fields involved (stats,
+// statMutations) are atomic, so the refresh runs under either lock mode and
+// never takes a table latch — a latch-waiting ANALYZE inside a commit path
+// could deadlock against the latch holder (and, symmetrically, a latch
+// holder's commit must be able to refresh statistics without waiting).
 
 // tableStats is one ANALYZE snapshot. The struct is immutable once
-// published on Table.stats (writers replace the pointer wholesale under the
-// exclusive lock; readers under the shared lock), so plans may keep reading
-// a snapshot they captured without synchronization.
+// published on Table.stats (writers replace the pointer wholesale), so
+// plans may keep reading a snapshot they captured without synchronization.
 type tableStats struct {
-	// rowCount is the table's row count at ANALYZE time.
+	// rowCount is the table's visible row count at ANALYZE time.
 	rowCount int
 	// distinct maps column position to the number of distinct non-NULL
 	// values observed at ANALYZE time.
@@ -44,22 +47,28 @@ const (
 	autoAnalyzeFraction     = 5 // refresh when churn ≥ rowCount/5 (20%)
 )
 
-// computeTableStats scans t once and builds a fresh snapshot. Caller holds
-// the exclusive lock.
-func computeTableStats(t *Table) *tableStats {
-	st := &tableStats{
-		rowCount: len(t.Rows),
-		distinct: make([]int, len(t.Columns)),
+// computeTableStats scans the latest committed versions of t once and
+// builds a fresh snapshot. Safe under either lock mode.
+func computeTableStats(db *DB, t *Table) *tableStats {
+	v := t.loadView()
+	snap := snapshot{ts: db.clock.Load()}
+	st := &tableStats{distinct: make([]int, len(t.Columns))}
+	visible := make([]Row, 0, len(v.rows))
+	for i, row := range v.rows {
+		if snap.visible(v.meta[i]) {
+			visible = append(visible, row)
+		}
 	}
+	st.rowCount = len(visible)
 	seen := make(map[string]struct{})
 	for ci := range t.Columns {
 		clear(seen)
-		for _, row := range t.Rows {
-			v := row[ci]
-			if v.IsNull() {
+		for _, row := range visible {
+			val := row[ci]
+			if val.IsNull() {
 				continue
 			}
-			seen[hashKey(v)] = struct{}{}
+			seen[hashKey(val)] = struct{}{}
 		}
 		st.distinct[ci] = len(seen)
 	}
@@ -67,10 +76,11 @@ func computeTableStats(t *Table) *tableStats {
 }
 
 // analyzeTableLocked refreshes t's statistics and invalidates cached plans
-// (their cost estimates are now stale). Caller holds the exclusive lock.
+// (their cost estimates are now stale). Caller holds the database lock in
+// either mode.
 func (db *DB) analyzeTableLocked(t *Table) {
-	t.stats = computeTableStats(t)
-	t.statMutations = 0
+	t.stats.Store(computeTableStats(db, t))
+	t.statMutations.Store(0)
 	db.tables.bumpEpoch()
 }
 
@@ -92,30 +102,32 @@ func (db *DB) execAnalyze(s *AnalyzeStmt) (*ResultSet, error) {
 	return &ResultSet{}, nil
 }
 
-// noteMutations records row churn against t's statistics. Caller holds the
-// exclusive lock.
+// noteMutations records row churn against t's statistics.
 func (t *Table) noteMutations(n int) {
 	if n > 0 {
-		t.statMutations += n
+		t.statMutations.Add(int64(n))
 	}
 }
 
 // maybeAutoAnalyze refreshes t's statistics when its churn since the last
-// snapshot crosses the threshold. Called after a transaction commits, under
-// the exclusive lock, for each table the transaction touched — so bulk loads
-// pick up statistics without an explicit ANALYZE, at amortized O(rows) cost.
+// snapshot crosses the threshold. Called for each touched table after a
+// transaction commits (under whichever lock mode the commit ran), so bulk
+// loads pick up statistics without an explicit ANALYZE, at amortized
+// O(rows) cost. Two concurrent refreshes are benign: each publishes a
+// complete snapshot.
 func (db *DB) maybeAutoAnalyze(t *Table) {
-	if t.statMutations < autoAnalyzeMinMutations {
+	churn := int(t.statMutations.Load())
+	if churn < autoAnalyzeMinMutations {
 		return
 	}
-	if t.stats != nil && t.statMutations*autoAnalyzeFraction < t.stats.rowCount {
+	if st := t.stats.Load(); st != nil && churn*autoAnalyzeFraction < st.rowCount {
 		return
 	}
 	db.analyzeTableLocked(t)
 }
 
 // autoAnalyzeTouched runs the automatic refresh over every table a
-// just-committed transaction touched. Caller holds the exclusive lock.
+// just-committed transaction touched.
 func (db *DB) autoAnalyzeTouched(t *txnState) {
 	for tb := range t.touched {
 		db.maybeAutoAnalyze(tb)
@@ -138,15 +150,17 @@ func (db *DB) Analyze(name string) error {
 // ANALYZE time and each column's distinct-value count. ok is false when the
 // table does not exist or has never been analyzed.
 func (db *DB) TableStats(name string) (rowCount int, distinct map[string]int, ok bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	t, found := db.tables.get(name)
-	if !found || t.stats == nil {
+	if !found {
+		return 0, nil, false
+	}
+	st := t.stats.Load()
+	if st == nil {
 		return 0, nil, false
 	}
 	distinct = make(map[string]int, len(t.Columns))
 	for i, c := range t.Columns {
-		distinct[c.Name] = t.stats.distinctFor(i)
+		distinct[c.Name] = st.distinctFor(i)
 	}
-	return t.stats.rowCount, distinct, true
+	return st.rowCount, distinct, true
 }

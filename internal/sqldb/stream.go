@@ -10,11 +10,11 @@ import (
 
 // Streaming SELECT execution. A "streamable" plan splits into two phases:
 //
-//   - Source resolution, under the database lock: table rows are
-//     snapshotted (a shallow copy — rows are immutable once stored, writers
-//     replace them wholesale), secondary-index candidates are gathered,
-//     subqueries run to completion, and FROM-clause UDFs execute (including
-//     their side effects and WAL capture).
+//   - Source resolution, under the database lock: the table's versions
+//     visible to the statement's snapshot are materialized into a private
+//     slice, secondary-index candidates are gathered, subqueries run to
+//     completion, and FROM-clause UDFs execute (including their side
+//     effects and WAL capture).
 //   - The lazy tail, after the lock is released: WHERE filtering,
 //     projection, and LIMIT/OFFSET accounting happen per Next call. Because
 //     streamableSelect admits only builtin functions outside the FROM item,
@@ -85,9 +85,10 @@ func (db *DB) buildSelectStream(cx *evalCtx, s *SelectStmt) (RowStream, error) {
 			if !ok {
 				return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, item.Table)
 			}
-			// Snapshot the row slice: writers replace rows, never mutate
-			// them in place, so the copy is a consistent point-in-time view.
-			src = &sliceStream{cols: t.Columns, rows: append([]Row(nil), t.Rows...)}
+			// Resolve the versions visible to this statement's snapshot into
+			// a private slice; the tail then streams it without locks while
+			// remaining pinned to the snapshot.
+			src = &sliceStream{cols: t.Columns, rows: visibleRows(cx, t)}
 			cols = t.Columns
 		case item.Func != nil:
 			args := make([]variant.Value, len(item.Func.Args))

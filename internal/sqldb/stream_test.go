@@ -277,9 +277,14 @@ func TestTxHandleCommitAndRollback(t *testing.T) {
 	if _, err := tx.Exec(`INSERT INTO t VALUES (1)`); err != nil {
 		t.Fatal(err)
 	}
-	// Database-wide transactions: a second Begin fails fast.
-	if _, err := db.Begin(); !errors.Is(err, ErrTxInProgress) {
-		t.Fatalf("second Begin: got %v, want ErrTxInProgress", err)
+	// MVCC transactions: a second Begin opens an independent concurrent
+	// transaction instead of failing.
+	txB, err := db.Begin()
+	if err != nil {
+		t.Fatalf("second Begin: %v", err)
+	}
+	if err := txB.Rollback(); err != nil {
+		t.Fatal(err)
 	}
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
@@ -314,8 +319,10 @@ func TestTxHandleCommitAndRollback(t *testing.T) {
 	}
 }
 
-// TestTxHandleInteropWithSQLText: a SQL COMMIT finishing the transaction
-// out from under the handle surfaces as ErrTxDone, not a double commit.
+// TestTxHandleInteropWithSQLText: Tx handles are independent of the
+// ambient SQL-text transaction — a SQL COMMIT with no ambient BEGIN is an
+// error and never finishes a handle, and transaction control inside a
+// handle is rejected (handles commit through the API).
 func TestTxHandleInteropWithSQLText(t *testing.T) {
 	db := New()
 	if _, err := db.Query(`CREATE TABLE t (a int)`); err != nil {
@@ -328,30 +335,26 @@ func TestTxHandleInteropWithSQLText(t *testing.T) {
 	if _, err := tx.Exec(`INSERT INTO t VALUES (1)`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Query(`COMMIT`); err != nil {
-		t.Fatal(err)
+	// No ambient transaction is open, so SQL COMMIT fails and leaves the
+	// handle untouched.
+	if _, err := db.Query(`COMMIT`); err == nil {
+		t.Fatal("SQL COMMIT with no ambient transaction: want error, got nil")
 	}
-	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
-		t.Fatalf("handle commit after SQL COMMIT: got %v, want ErrTxDone", err)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("handle commit after unrelated SQL COMMIT attempt: %v", err)
 	}
 
-	// A stale handle's statements must not silently join a later
-	// transaction either.
 	tx2, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Query(`COMMIT`); err != nil {
+	if _, err := tx2.Exec(`COMMIT`); err == nil {
+		t.Fatal("COMMIT inside a handle: want error, got nil")
+	}
+	if _, err := tx2.Exec(`INSERT INTO t VALUES (99)`); err != nil {
 		t.Fatal(err)
 	}
-	tx3, err := db.Begin()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := tx2.Exec(`INSERT INTO t VALUES (99)`); !errors.Is(err, ErrTxDone) {
-		t.Fatalf("stale handle exec: got %v, want ErrTxDone", err)
-	}
-	if err := tx3.Rollback(); err != nil {
+	if err := tx2.Rollback(); err != nil {
 		t.Fatal(err)
 	}
 	rs, err := db.Query(`SELECT count(*) FROM t WHERE a = 99`)
@@ -359,7 +362,7 @@ func TestTxHandleInteropWithSQLText(t *testing.T) {
 		t.Fatal(err)
 	}
 	if n, _ := rs.Rows[0][0].AsInt(); n != 0 {
-		t.Fatalf("stale handle's insert leaked: count = %d", n)
+		t.Fatalf("rolled-back handle insert leaked: count = %d", n)
 	}
 }
 

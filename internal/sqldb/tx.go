@@ -2,26 +2,33 @@ package sqldb
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 )
 
-// Tx is a transaction handle over the engine's undo-journal transaction
-// machinery — the typed equivalent of BEGIN ... COMMIT/ROLLBACK SQL, sharing
-// the same txnState, journal, and WAL commit protocol. The engine's
-// transactions are database-wide: at most one explicit transaction is open
-// at a time (Begin returns ErrTxInProgress otherwise), and every write
-// statement — from any handle — joins it until Commit or Rollback.
+// Tx is a concurrent transaction handle — the typed equivalent of
+// BEGIN ... COMMIT/ROLLBACK, but private to the handle rather than
+// database-wide. Any number of handles may be open at once: each pins a
+// snapshot at Begin (repeatable reads), acquires write latches on the
+// tables it writes (held until Commit/Rollback), and commits or rolls back
+// independently. Two handles writing disjoint tables proceed fully in
+// parallel; writes to the same table serialize on its latch, and a
+// statement that loses a write-write race (the latch is held too long, or
+// a row it wants to change was modified after its snapshot) fails with
+// ErrWriteConflict — roll back and retry the transaction.
 //
-// After Commit or Rollback, all methods return ErrTxDone. A transaction
-// finished out from under the handle (by SQL COMMIT/ROLLBACK text) is also
-// reported as ErrTxDone.
+// A handle does not interact with the ambient SQL transaction: BeginTx
+// while SQL BEGIN is open returns ErrTxInProgress, and SQL COMMIT/ROLLBACK
+// text issued through a handle is rejected rather than finishing it.
+//
+// After Commit or Rollback, all methods return ErrTxDone.
 type Tx struct {
 	db    *DB
 	state *txnState
 	done  atomic.Bool
 }
 
-// Begin opens an explicit transaction and returns its handle.
+// Begin opens a concurrent transaction and returns its handle.
 func (db *DB) Begin() (*Tx, error) {
 	return db.BeginTx(context.Background())
 }
@@ -34,49 +41,77 @@ func (db *DB) BeginTx(ctx context.Context) (*Tx, error) {
 			return nil, err
 		}
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return nil, ErrClosed
 	}
-	t, err := db.beginLocked()
-	if err != nil {
-		return nil, err
+	if db.txn != nil && db.txn.explicit {
+		// The ambient database-wide transaction is open; a concurrent
+		// transaction starting now could not see a stable prefix of it.
+		return nil, ErrTxInProgress
 	}
+	t := db.newTxn(true, true)
+	t.snap = snapshot{ts: db.clock.Load(), self: t.stamp()}
+	db.snaps.register(t, t.snap.ts)
 	return &Tx{db: db, state: t}, nil
 }
 
-// Commit makes the transaction's changes permanent (WAL-fsynced on a
-// durable database). ErrTxDone if the transaction already finished.
+// Commit makes the transaction's changes durable and visible: its WAL
+// records are written and fsynced (per the group-commit policy), then its
+// versions flip to a fresh commit timestamp — atomically with respect to
+// every snapshot reader. ErrTxDone if the transaction already finished.
 func (tx *Tx) Commit() error {
 	if !tx.done.CompareAndSwap(false, true) {
 		return ErrTxDone
 	}
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	return tx.db.commitLocked(tx.state)
+	db, t := tx.db, tx.state
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		db.releaseLatches(t)
+		db.snaps.drop(t)
+		return ErrClosed
+	}
+	ckptDue, err := db.commitTxn(t)
+	if err != nil {
+		db.mu.RUnlock()
+		uerr := db.unwindConcurrent(t)
+		db.releaseLatches(t)
+		db.snaps.drop(t)
+		if uerr != nil {
+			return errors.Join(err, uerr)
+		}
+		return err
+	}
+	db.autoAnalyzeTouched(t)
+	db.mu.RUnlock()
+	db.releaseLatches(t)
+	db.snaps.drop(t)
+	if ckptDue {
+		_ = db.Checkpoint()
+	}
+	return nil
 }
 
-// Rollback undoes every change made inside the transaction — journalled
-// rows, DDL, and registered OnRollback compensators. ErrTxDone if the
-// transaction already finished, so `defer tx.Rollback()` after a successful
-// Commit is harmless.
+// Rollback undoes every change made inside the transaction — its row
+// versions vanish atomically, DDL undoes replay, and registered OnRollback
+// compensators run. ErrTxDone if the transaction already finished, so
+// `defer tx.Rollback()` after a successful Commit is harmless.
 func (tx *Tx) Rollback() error {
 	if !tx.done.CompareAndSwap(false, true) {
 		return ErrTxDone
 	}
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	return tx.db.rollbackLocked(tx.state)
+	db, t := tx.db, tx.state
+	err := db.unwindConcurrent(t)
+	db.releaseLatches(t)
+	db.snaps.drop(t)
+	return err
 }
 
-// live returns ErrTxDone unless the handle's transaction is still the
-// open one — it also catches a transaction finished out from under the
-// handle by SQL COMMIT/ROLLBACK text, so a stale handle's statements never
-// silently join a later transaction. (A check-then-act race with a
-// concurrent finisher remains inherent to database-wide transactions.)
+// live returns ErrTxDone once the handle has finished.
 func (tx *Tx) live() error {
-	if tx.done.Load() || !tx.db.txLive(tx.state) {
+	if tx.done.Load() {
 		return ErrTxDone
 	}
 	return nil
@@ -89,10 +124,11 @@ func (tx *Tx) Exec(sql string, args ...any) (int, error) {
 
 // ExecContext is Exec honouring ctx.
 func (tx *Tx) ExecContext(ctx context.Context, sql string, args ...any) (int, error) {
-	if err := tx.live(); err != nil {
+	rs, err := tx.QueryContext(ctx, sql, args...)
+	if err != nil {
 		return 0, err
 	}
-	return tx.db.ExecContext(ctx, sql, args...)
+	return len(rs.Rows), nil
 }
 
 // Query runs a statement inside the transaction, materialized.
@@ -102,15 +138,18 @@ func (tx *Tx) Query(sql string, args ...any) (*ResultSet, error) {
 
 // QueryContext is Query honouring ctx.
 func (tx *Tx) QueryContext(ctx context.Context, sql string, args ...any) (*ResultSet, error) {
-	if err := tx.live(); err != nil {
+	it, err := tx.QueryRowsContext(ctx, sql, args...)
+	if err != nil {
 		return nil, err
 	}
-	return tx.db.QueryContext(ctx, sql, args...)
+	return it.Materialize()
 }
 
 // QueryRows runs a statement inside the transaction as a streaming
-// iterator. The stream reads a snapshot taken at execution, so it remains
-// valid across (and after) Commit or Rollback.
+// iterator. The stream reads the transaction's snapshot (plus its own
+// writes) taken at execution, so it remains valid across — and observes
+// nothing from — concurrent commits, and stays readable after Commit or
+// Rollback of this transaction.
 func (tx *Tx) QueryRows(sql string, args ...any) (*RowIter, error) {
 	return tx.QueryRowsContext(context.Background(), sql, args...)
 }
@@ -120,11 +159,21 @@ func (tx *Tx) QueryRowsContext(ctx context.Context, sql string, args ...any) (*R
 	if err := tx.live(); err != nil {
 		return nil, err
 	}
-	return tx.db.QueryRowsContext(ctx, sql, args...)
+	cp, err := tx.db.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return tx.db.execTxStmt(ctx, sql, cp, params, tx.state)
 }
 
 // Prepare returns a prepared statement usable inside (and after) the
-// transaction; plans are transaction-independent.
+// transaction; plans are transaction-independent. Note that statements
+// executed through the returned Stmt run outside this transaction — use
+// the Tx's own Exec/Query for transactional statements.
 func (tx *Tx) Prepare(sql string) (*Stmt, error) {
 	return tx.PrepareContext(context.Background(), sql)
 }

@@ -3,81 +3,133 @@ package sqldb
 import "strings"
 
 // Transaction support. Every write statement runs inside a transaction:
-// either the explicit one opened by BEGIN, or an implicit single-statement
-// transaction. While the transaction runs, each mutation pushes an undo
-// closure (the in-memory rollback journal) and, on a durable database, a
-// WAL record into the pending buffer. COMMIT (or the end of an implicit
-// transaction) writes the pending records plus a commit marker to the WAL
-// and discards the journal; ROLLBACK replays the journal in reverse and
-// rebuilds the indexes of every table the transaction touched.
+// either an explicit one (SQL BEGIN, or a Tx handle from Begin/BeginTx), or
+// an implicit single-statement transaction. Writes are multi-versioned (see
+// mvcc.go): each mutation appends or end-stamps row versions under the
+// transaction's in-flight stamp, buffers a WAL record on a durable
+// database, and — for DDL and API compensators — pushes an undo closure.
+// COMMIT writes the pending WAL records plus a commit marker, then flips
+// the transaction's stamps to its commit timestamp; ROLLBACK flips the
+// stamps to aborted/live and replays the undo journal in reverse.
 //
-// Transactions are database-wide (the engine has no per-connection
-// sessions): while an explicit transaction is open, every write statement —
-// from any goroutine — joins it, and concurrent shared-lock SELECTs observe
-// its uncommitted state (read-uncommitted isolation). All transaction state
-// is mutated only under the DB's exclusive lock.
+// Two transaction flavours coexist:
+//
+//   - The ambient transaction (SQL BEGIN ... COMMIT) is database-wide, as
+//     in earlier versions of this engine: while it is open every write
+//     statement from any goroutine joins it, and it executes under the
+//     DB's exclusive lock.
+//   - Concurrent transactions (Tx handles, implicit DML on latched tables,
+//     RunConcurrent bodies) are private to their handle, run under the
+//     shared lock plus per-table write latches, and read a pinned MVCC
+//     snapshot.
 
-// txnState is one open transaction: the undo journal, the set of tables
-// whose indexes must be rebuilt on rollback, and the WAL records to write
-// at commit.
+// txnState is one open transaction: its identity and snapshot, the row
+// versions it created and ended (the write set whose stamps commit/abort
+// flips), the undo journal for DDL and compensators, the WAL records to
+// write at commit, and the table latches it holds.
 type txnState struct {
-	explicit bool
-	undo     []func()
-	touched  map[*Table]struct{}
-	pending  []walRecord
+	id         uint64
+	explicit   bool
+	concurrent bool
+	snap       snapshot
+	undo       []func()
+	touched    map[*Table]struct{}
+	created    []*rowMeta
+	ended      []*rowMeta
+	pending    []walRecord
+	latches    []*Table
+	// ddl records that a DDL undo closure was journalled; rollback then
+	// rebuilds the indexes of touched tables (pure DML rollback needs no
+	// rebuild — aborted versions are filtered by visibility).
+	ddl bool
 }
 
-func newTxn(explicit bool) *txnState { return &txnState{explicit: explicit} }
+// newTxn allocates a transaction with a fresh ID. The snapshot is filled in
+// by the caller (exclusive-path transactions read "latest committed";
+// concurrent ones pin the clock).
+func (db *DB) newTxn(explicit, concurrent bool) *txnState {
+	return &txnState{id: db.txnID.Add(1), explicit: explicit, concurrent: concurrent}
+}
 
-// recordUndo registers a rollback closure for the open transaction, if any.
-func (db *DB) recordUndo(fn func()) {
-	if db.txn != nil {
-		db.txn.undo = append(db.txn.undo, fn)
+// stamp is the transaction's in-flight version stamp.
+func (t *txnState) stamp() uint64 { return txnBit | t.id }
+
+// recordUndo registers a rollback closure.
+func (t *txnState) recordUndo(fn func()) { t.undo = append(t.undo, fn) }
+
+// touch marks a table as mutated, for rollback index rebuilds (DDL only)
+// and the auto-ANALYZE refresh at commit.
+func (t *txnState) touch(tb *Table) {
+	if t.touched == nil {
+		t.touched = make(map[*Table]struct{})
+	}
+	t.touched[tb] = struct{}{}
+}
+
+// logWAL buffers a WAL record for commit on a durable database; it is a
+// no-op in memory-only mode.
+func (t *txnState) logWAL(db *DB, rec walRecord) {
+	if db.wal != nil {
+		t.pending = append(t.pending, rec)
 	}
 }
 
-// touch marks a table as mutated so rollback rebuilds its indexes.
-func (db *DB) touch(t *Table) {
-	if db.txn == nil {
-		return
-	}
-	if db.txn.touched == nil {
-		db.txn.touched = make(map[*Table]struct{})
-	}
-	db.txn.touched[t] = struct{}{}
+// txnMarks is a point in a transaction's journals, for statement-level
+// atomicity: a failed statement unwinds to the marks taken before it ran.
+type txnMarks struct {
+	undo, pending, created, ended int
 }
 
-// logWAL buffers a WAL record for the open transaction of a durable
-// database; it is a no-op in memory-only mode.
-func (db *DB) logWAL(rec walRecord) {
-	if db.wal != nil && db.txn != nil {
-		db.txn.pending = append(db.txn.pending, rec)
+func (t *txnState) marks() txnMarks {
+	return txnMarks{
+		undo:    len(t.undo),
+		pending: len(t.pending),
+		created: len(t.created),
+		ended:   len(t.ended),
 	}
 }
 
-// unwind rolls the transaction back to a prior point: undo closures past
-// undoMark run in reverse, pending WAL records past pendMark are discarded,
-// and the indexes of every touched table are rebuilt from the restored rows
-// (undo restores row storage only; rebuilding is simpler and safer than
-// reversing each index mutation). unwind(db, 0, 0) is full rollback;
-// execStatement uses non-zero marks for statement-level atomicity.
-func (t *txnState) unwind(db *DB, undoMark, pendMark int) error {
-	for i := len(t.undo) - 1; i >= undoMark; i-- {
+// dirtySince reports whether the transaction journalled anything past m —
+// i.e. whether a failed statement left state to unwind.
+func (t *txnState) dirtySince(m txnMarks) bool {
+	return len(t.undo) > m.undo || len(t.pending) > m.pending ||
+		len(t.created) > m.created || len(t.ended) > m.ended
+}
+
+// unwind rolls the transaction back to a prior point: versions created past
+// the mark are stamped aborted, end stamps placed past the mark are cleared
+// back to live, undo closures past the mark run in reverse, and pending WAL
+// records are discarded. unwind(db, txnMarks{}) is full rollback;
+// execStatement uses non-zero marks for statement-level atomicity. Stamp
+// flips are atomic, so concurrent snapshot readers see a consistent before-
+// or-after state for every version.
+func (t *txnState) unwind(db *DB, m txnMarks) error {
+	for _, rm := range t.created[m.created:] {
+		rm.begin.Store(stampAborted)
+	}
+	t.created = t.created[:m.created]
+	for _, rm := range t.ended[m.ended:] {
+		rm.end.Store(0)
+	}
+	t.ended = t.ended[:m.ended]
+	for i := len(t.undo) - 1; i >= m.undo; i-- {
 		t.undo[i]()
 	}
-	t.undo = t.undo[:undoMark]
-	t.pending = t.pending[:pendMark]
+	t.undo = t.undo[:m.undo]
+	t.pending = t.pending[:m.pending]
 	var firstErr error
 	for tb := range t.touched {
-		if err := tb.rebuildIndexes(); err != nil && firstErr == nil {
-			firstErr = err
+		if t.ddl {
+			// A DDL undo may have re-attached an index that went stale while
+			// detached; rebuild from the current view.
+			if err := tb.rebuildIndexes(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 		// Unwound churn must not count toward the auto-ANALYZE threshold:
-		// the rows are back to their prior state, and a spurious refresh is
-		// an O(rows) scan inside a later commit. Resetting (rather than
-		// subtracting the unwound share) only delays a refresh, and
-		// statistics are advisory.
-		tb.statMutations = 0
+		// the visible rows are back to their prior state, and a spurious
+		// refresh is an O(rows) scan inside a later commit.
+		tb.statMutations.Store(0)
 	}
 	return firstErr
 }
@@ -89,6 +141,16 @@ func isMutatingStmt(s Statement) bool {
 	switch s.(type) {
 	case *InsertStmt, *UpdateStmt, *DeleteStmt,
 		*CreateTableStmt, *DropTableStmt, *CreateIndexStmt, *DropIndexStmt:
+		return true
+	}
+	return false
+}
+
+// isDMLStmt reports whether a statement is row-level DML — the statement
+// class eligible for the concurrent (latched, shared-lock) write path.
+func isDMLStmt(s Statement) bool {
+	switch s.(type) {
+	case *InsertStmt, *UpdateStmt, *DeleteStmt:
 		return true
 	}
 	return false
@@ -131,7 +193,9 @@ func walkStmtFuncs(stmt Statement, fn func(string)) {
 // logical SQL text: UDFs may be volatile (fmu_create loads files, trainers
 // run stochastic searches) and are not yet registered — let alone rehydrated
 // — when the log replays on open, so statements referencing them are logged
-// as physical row records instead.
+// as physical row records instead. The concurrent write path additionally
+// requires builtins-only (UDFs may issue nested statements that expect the
+// ambient-transaction machinery).
 func stmtUsesOnlyBuiltins(stmt Statement) bool {
 	ok := true
 	walkStmtFuncs(stmt, func(name string) {

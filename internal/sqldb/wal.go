@@ -67,19 +67,25 @@ type DurabilityOptions struct {
 // walRecord is one logged unit. Op selects the shape:
 //
 //	"stmt"   logical record: re-executable SQL text plus bound parameters
-//	         (only statements whose functions are all engine builtins)
-//	"ins"    physical record: one row appended to Table
-//	"upd"    physical record: Table.Rows[Pos] replaced by Row
-//	"del"    physical record: the rows at Del (pre-delete positions) removed
+//	         (only statements whose functions are all engine builtins,
+//	         running on the exclusive path)
+//	"ins"    physical record: one row version inserted into Table
+//	"upd"    physical record: the visible row matching Old superseded by Row
+//	"del"    physical record: the visible row matching Old deleted
 //	"commit" transaction boundary
+//
+// Physical records identify rows by value, not position: under concurrent
+// transactions a slot index is meaningless (each session sees its own
+// snapshot of the version arrays), while replaying commits in WAL order
+// against latest-committed visibility makes value matching deterministic —
+// the log's commit order is the stamp order (see DB.commitTxn).
 type walRecord struct {
 	Op     string     `json:"op"`
 	SQL    string     `json:"sql,omitempty"`
 	Params []walValue `json:"params,omitempty"`
 	Table  string     `json:"table,omitempty"`
-	Pos    int        `json:"pos,omitempty"`
+	Old    []walValue `json:"old,omitempty"`
 	Row    []walValue `json:"row,omitempty"`
-	Del    []int      `json:"del,omitempty"`
 }
 
 // walValue is a kind-tagged variant encoding that round-trips losslessly
@@ -228,8 +234,11 @@ func readWALTxns(path string) (txns [][]walRecord, keep int64, err error) {
 	return txns, keep, nil
 }
 
-// wal is the open write-ahead log of a durable database. All fields are
-// guarded by the owning DB's exclusive lock.
+// wal is the open write-ahead log of a durable database. Appends (commit
+// and the counters it advances) are guarded by the owning DB's commitMu;
+// structural changes — attachment, rotation, close — additionally hold the
+// DB's exclusive lock, which excludes every committer (concurrent
+// transactions commit under the shared lock).
 type wal struct {
 	dir string
 	gen int
@@ -363,7 +372,7 @@ func (db *DB) EnableDurability(dir string, o DurabilityOptions) error {
 		// pre-installed (e.g. an empty catalogue).
 		db.tables = newCatalog()
 		for _, stmt := range stmts {
-			if _, err := db.execLocked(&evalCtx{db: db}, stmt); err != nil {
+			if _, err := db.execLocked(&evalCtx{db: db, snap: snapshot{ts: db.clock.Load()}}, stmt); err != nil {
 				return fmt.Errorf("sql: restoring snapshot: %w", err)
 			}
 		}
@@ -383,6 +392,9 @@ func (db *DB) EnableDurability(dir string, o DurabilityOptions) error {
 			}
 		}
 	}
+	// Replay of updates and deletes leaves dead versions behind; compact
+	// them away before serving queries.
+	db.vacuumLocked()
 
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -431,8 +443,44 @@ func removeStaleWALs(dir string, liveGen int) {
 	os.Remove(filepath.Join(dir, snapshotTmp))
 }
 
-// applyWALRecord redoes one logged record during recovery.
+// walValuesEqual compares two encoded rows. The encoding is canonical (one
+// string per kinded value), so byte equality is value equality.
+func walValuesEqual(a, b []walValue) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// findWALRow locates the committed-visible version of t whose values match
+// a logged pre-image. Replay applies commits in WAL order — which is stamp
+// order — so "the visible row equal to Old" at each step is exactly the row
+// the original statement ended. Duplicate rows match in version order, also
+// mirroring the original scan.
+func (db *DB) findWALRow(t *Table, old []walValue) (*rowMeta, error) {
+	v := t.loadView()
+	snap := snapshot{ts: db.clock.Load()}
+	for i, m := range v.meta {
+		if !snap.visible(m) {
+			continue
+		}
+		if walValuesEqual(encodeWALValues(v.rows[i]), old) {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("table %q: logged row not found for replay", t.Name)
+}
+
+// applyWALRecord redoes one logged record during recovery, rebuilding
+// committed state directly: replayed versions get begin (and, when ended,
+// end) stamp 1, matching the clock's starting position.
 func (db *DB) applyWALRecord(rec walRecord) error {
+	cx := &evalCtx{db: db, snap: snapshot{ts: db.clock.Load()}}
 	switch rec.Op {
 	case "stmt":
 		cp, err := db.parse(rec.SQL)
@@ -443,7 +491,8 @@ func (db *DB) applyWALRecord(rec walRecord) error {
 		if err != nil {
 			return err
 		}
-		if _, err := db.execLocked(&evalCtx{db: db, params: params}, cp.stmt); err != nil {
+		cx.params = params
+		if _, err := db.execLocked(cx, cp.stmt); err != nil {
 			return fmt.Errorf("statement %q: %w", rec.SQL, err)
 		}
 		return nil
@@ -459,43 +508,37 @@ func (db *DB) applyWALRecord(rec walRecord) error {
 		if len(row) != len(t.Columns) {
 			return fmt.Errorf("table %q: logged row has %d values for %d columns", rec.Table, len(row), len(t.Columns))
 		}
-		t.Rows = append(t.Rows, row)
-		return t.insertIntoIndexes(len(t.Rows)-1, row)
+		return db.insertVersion(cx, t, row)
 	case "upd":
 		t, ok := db.tables.get(rec.Table)
 		if !ok {
 			return fmt.Errorf("update of unknown table %q", rec.Table)
 		}
-		if rec.Pos < 0 || rec.Pos >= len(t.Rows) {
-			return fmt.Errorf("table %q: logged update position %d out of range", rec.Table, rec.Pos)
+		m, err := db.findWALRow(t, rec.Old)
+		if err != nil {
+			return err
 		}
 		row, err := decodeWALValues(rec.Row)
 		if err != nil {
 			return err
 		}
-		old := t.Rows[rec.Pos]
-		t.Rows[rec.Pos] = row
-		return t.updateIndexes(rec.Pos, old, row)
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("table %q: logged row has %d values for %d columns", rec.Table, len(row), len(t.Columns))
+		}
+		if err := db.endVersion(cx, t, m); err != nil {
+			return err
+		}
+		return db.insertVersion(cx, t, row)
 	case "del":
 		t, ok := db.tables.get(rec.Table)
 		if !ok {
 			return fmt.Errorf("delete from unknown table %q", rec.Table)
 		}
-		drop := make(map[int]bool, len(rec.Del))
-		for _, pos := range rec.Del {
-			if pos < 0 || pos >= len(t.Rows) {
-				return fmt.Errorf("table %q: logged delete position %d out of range", rec.Table, pos)
-			}
-			drop[pos] = true
+		m, err := db.findWALRow(t, rec.Old)
+		if err != nil {
+			return err
 		}
-		var kept []Row
-		for i, row := range t.Rows {
-			if !drop[i] {
-				kept = append(kept, row)
-			}
-		}
-		t.Rows = kept
-		return t.rebuildIndexes()
+		return db.endVersion(cx, t, m)
 	default:
 		return fmt.Errorf("unknown wal record op %q", rec.Op)
 	}
@@ -509,12 +552,20 @@ func (db *DB) walCommit(t *txnState) error {
 	return db.wal.commit(t.pending)
 }
 
-// maybeAutoCheckpointLocked runs a checkpoint when the configured record
-// budget is exhausted. Failures are swallowed: the old snapshot + WAL pair
-// is still consistent, and the next commit retries.
-func (db *DB) maybeAutoCheckpointLocked() {
+// walCheckpointDue reports whether the configured record budget is
+// exhausted. Caller holds commitMu or excludes all committers.
+func (db *DB) walCheckpointDue() bool {
 	w := db.wal
-	if w == nil || w.checkpointEvery <= 0 || w.recordsSinceCheckpoint < w.checkpointEvery {
+	return w != nil && w.checkpointEvery > 0 && w.recordsSinceCheckpoint >= w.checkpointEvery
+}
+
+// maybeAutoCheckpointLocked runs a checkpoint when the record budget is
+// exhausted. Failures are swallowed: the old snapshot + WAL pair is still
+// consistent, and the next commit retries. Exclusive-path commits call this
+// under the exclusive lock; shared-lock commits run db.Checkpoint after
+// unlocking instead (see commitTxn).
+func (db *DB) maybeAutoCheckpointLocked() {
+	if !db.walCheckpointDue() {
 		return
 	}
 	_ = db.checkpointLocked()
@@ -538,6 +589,13 @@ func (db *DB) checkpointLocked() error {
 	if db.txn != nil && db.txn.explicit {
 		return fmt.Errorf("sql: cannot checkpoint with a transaction in progress")
 	}
+	// Reclaim dead versions while we hold the exclusive lock anyway: the
+	// snapshot about to be written contains only visible rows, so compacting
+	// first keeps memory in line with it. (Open concurrent transactions are
+	// fine — vacuum skips their latched tables, and the snapshot simply
+	// omits their uncommitted versions; their WAL records land in the new
+	// generation at commit.)
+	db.vacuumLocked()
 	// Flush group-commit residue: if the snapshot write fails midway we fall
 	// back to the current (snapshot, WAL) pair, which must be complete. A
 	// poisoned log skips this — its tail is being abandoned anyway, and the

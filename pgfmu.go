@@ -112,9 +112,15 @@ var (
 	ErrNoSuchVariable = core.ErrNoSuchVariable
 	// ErrTxDone reports use of a Tx that was already committed/rolled back.
 	ErrTxDone = sqldb.ErrTxDone
-	// ErrTxInProgress reports Begin while a transaction is already open
-	// (transactions are database-wide).
+	// ErrTxInProgress reports an operation that cannot run while the
+	// ambient SQL-text transaction (BEGIN ... COMMIT) is open, such as a
+	// concurrent Begin or an exclusive statement inside a Tx.
 	ErrTxInProgress = sqldb.ErrTxInProgress
+	// ErrWriteConflict reports a write-write conflict under snapshot
+	// isolation: another transaction committed a change to the same row
+	// first, or holds a latch/lock the statement cannot wait for without
+	// risking deadlock. Roll the transaction back and retry it.
+	ErrWriteConflict = sqldb.ErrWriteConflict
 	// ErrClosed reports use of a closed DB or Stmt.
 	ErrClosed = sqldb.ErrClosed
 )
