@@ -70,7 +70,8 @@ func RestoreSession(dump io.Reader, opts ...Option) (*Session, error) {
 // on top (truncating any torn tail a crash left behind), and the FMU
 // catalogue is rehydrated — so models, calibrated instances, and user
 // tables all survive a process kill. Durability knobs: WithWALSyncEvery
-// (group commit) and WithAutoCheckpointEvery.
+// (group commit), WithAutoCheckpointEvery, and WithPagedStorage (on-disk
+// page/B+tree images instead of whole snapshots).
 func OpenDurable(dir string, opts ...Option) (*Session, error) {
 	s, err := NewSession(opts...)
 	if err != nil {
@@ -79,6 +80,9 @@ func OpenDurable(dir string, opts ...Option) (*Session, error) {
 	if err := s.db.EnableDurability(dir, sqldb.DurabilityOptions{
 		SyncEvery:       s.walSyncEvery,
 		CheckpointEvery: s.autoCheckpointEvery,
+		Paged:           s.paged,
+		PageSize:        s.pageSize,
+		PoolPages:       s.poolPages,
 	}); err != nil {
 		return nil, fmt.Errorf("core: opening durable session: %w", err)
 	}

@@ -1,0 +1,883 @@
+package sqldb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Copy-on-write B+tree over logical pages.
+//
+// One tree holds one table's heap (key = big-endian rowid, value = stored
+// tuple) or one btree index (key = order-preserving column encoding + rowid,
+// empty value); the store's catalog is a tree of its own. Keys are unique
+// byte strings in lexicographic order; leaves chain left-to-right through
+// their header's next field (a logical id, stable across copy-on-write
+// relocation), which is what makes range scans a linked-list walk.
+//
+// Node layout (after the 16-byte page header, see pager.go):
+//
+//	cell: [klen u16 LE][aux u32 LE][key bytes][payload]
+//
+// In a branch, aux is the child's logical id and there is no payload; the
+// header's extra field holds the leftmost child. In a leaf, aux is the
+// payload length with the high bit flagging an overflow value, whose
+// payload is then [overflow root u32 LE][total length u32 LE] and the bytes
+// live in a chain of overflow pages. A separator key in a branch is the
+// smallest key of its right subtree.
+//
+// Every cell is bounded to a quarter of a page's usable space (keys to an
+// eighth; larger values spill to overflow chains), which guarantees the
+// classic fill invariant: splits and deletion-time redistribution always
+// leave every non-root node at least a quarter full.
+//
+// All methods run under the owning pagedStore's mutex.
+
+type btree struct {
+	st     *pagedStore
+	root   uint32
+	npages int // pages owned: leaf + branch + overflow
+}
+
+type bcell struct {
+	key      []byte
+	val      []byte // leaf payload (inline value, or 8-byte overflow ref)
+	overflow bool
+	child    uint32 // branch child
+}
+
+func (st *pagedStore) usableBytes() int { return st.pageSize - pageHeaderSize }
+func (st *pagedStore) maxCellSize() int { return st.usableBytes() / 4 }
+func (st *pagedStore) maxKeyLen() int   { return st.usableBytes() / 8 }
+
+func leafCellSize(c bcell) int   { return 6 + len(c.key) + len(c.val) }
+func branchCellSize(c bcell) int { return 6 + len(c.key) }
+
+func cellsSize(cells []bcell, branch bool) int {
+	n := 0
+	for _, c := range cells {
+		if branch {
+			n += branchCellSize(c)
+		} else {
+			n += leafCellSize(c)
+		}
+	}
+	return n
+}
+
+// parseNode decodes a page into its cells. The returned slices alias the
+// frame's buffer; mutations always build a fresh buffer (writeNode), so
+// outstanding slices stay consistent even across eviction.
+func parseNode(data []byte) (typ byte, next, extra uint32, cells []bcell, err error) {
+	typ = data[4]
+	n := int(binary.LittleEndian.Uint16(data[6:8]))
+	next = binary.LittleEndian.Uint32(data[8:12])
+	extra = binary.LittleEndian.Uint32(data[12:16])
+	cells = make([]bcell, 0, n)
+	p := pageHeaderSize
+	for i := 0; i < n; i++ {
+		if p+6 > len(data) {
+			return 0, 0, 0, nil, fmt.Errorf("sql: btree page cell %d out of bounds", i)
+		}
+		klen := int(binary.LittleEndian.Uint16(data[p : p+2]))
+		aux := binary.LittleEndian.Uint32(data[p+2 : p+6])
+		p += 6
+		if p+klen > len(data) {
+			return 0, 0, 0, nil, fmt.Errorf("sql: btree page cell %d key out of bounds", i)
+		}
+		c := bcell{key: data[p : p+klen]}
+		p += klen
+		if typ == pageBranch {
+			c.child = aux
+		} else {
+			vlen := int(aux &^ (1 << 31))
+			c.overflow = aux&(1<<31) != 0
+			if p+vlen > len(data) {
+				return 0, 0, 0, nil, fmt.Errorf("sql: btree page cell %d value out of bounds", i)
+			}
+			c.val = data[p : p+vlen]
+			p += vlen
+		}
+		cells = append(cells, c)
+	}
+	return typ, next, extra, cells, nil
+}
+
+// writeNode rebuilds a page image from cells and installs it in the frame,
+// COW-relocating the page first (touch) and marking it dirty.
+func (bt *btree) writeNode(f *frame, typ byte, next, extra uint32, cells []bcell) error {
+	if err := bt.st.touch(f); err != nil {
+		return err
+	}
+	data := make([]byte, bt.st.pageSize)
+	data[4] = typ
+	binary.LittleEndian.PutUint16(data[6:8], uint16(len(cells)))
+	binary.LittleEndian.PutUint32(data[8:12], next)
+	binary.LittleEndian.PutUint32(data[12:16], extra)
+	p := pageHeaderSize
+	for _, c := range cells {
+		binary.LittleEndian.PutUint16(data[p:p+2], uint16(len(c.key)))
+		aux := c.child
+		if typ != pageBranch {
+			aux = uint32(len(c.val))
+			if c.overflow {
+				aux |= 1 << 31
+			}
+		}
+		binary.LittleEndian.PutUint32(data[p+2:p+6], aux)
+		p += 6
+		copy(data[p:], c.key)
+		p += len(c.key)
+		if typ != pageBranch {
+			copy(data[p:], c.val)
+			p += len(c.val)
+		}
+	}
+	if p > bt.st.pageSize {
+		return fmt.Errorf("sql: btree node overflow: %d bytes in %d-byte page", p, bt.st.pageSize)
+	}
+	f.data = data
+	f.dirty = true
+	return nil
+}
+
+func (bt *btree) fits(cells []bcell, branch bool) bool {
+	return cellsSize(cells, branch) <= bt.st.usableBytes()
+}
+
+// findCell locates key in a sorted cell slice: the index holding it (found)
+// or its insertion point.
+func findCell(cells []bcell, key []byte) (int, bool) {
+	i := sort.Search(len(cells), func(i int) bool { return bytes.Compare(cells[i].key, key) >= 0 })
+	if i < len(cells) && bytes.Equal(cells[i].key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// childIndex picks the branch child for key: -1 for the leftmost child
+// (header extra), else the last separator ≤ key.
+func childIndex(cells []bcell, key []byte) int {
+	i := sort.Search(len(cells), func(i int) bool { return bytes.Compare(cells[i].key, key) > 0 })
+	return i - 1
+}
+
+func (bt *btree) childAt(cells []bcell, extra uint32, i int) uint32 {
+	if i < 0 {
+		return extra
+	}
+	return cells[i].child
+}
+
+func (bt *btree) allocNode() (*frame, uint32, error) {
+	f, l, err := bt.st.allocPage()
+	if err == nil {
+		bt.npages++
+	}
+	return f, l, err
+}
+
+func (bt *btree) freeNode(l uint32) {
+	bt.st.freePage(l)
+	bt.npages--
+}
+
+// createBtree allocates an empty tree (a single empty leaf root).
+func createBtree(st *pagedStore) (*btree, error) {
+	bt := &btree{st: st}
+	f, l, err := bt.allocNode()
+	if err != nil {
+		return nil, err
+	}
+	defer st.pool.unpin(f)
+	bt.root = l
+	if err := bt.writeNode(f, pageLeaf, 0, 0, nil); err != nil {
+		return nil, err
+	}
+	return bt, nil
+}
+
+// --- values and overflow chains ---
+
+// makeValue prepares a leaf payload: inline when the resulting cell stays
+// within the cell-size bound, else an overflow chain.
+func (bt *btree) makeValue(keyLen int, val []byte) ([]byte, bool, error) {
+	if 6+keyLen+len(val) <= bt.st.maxCellSize() {
+		v := make([]byte, len(val))
+		copy(v, val)
+		return v, false, nil
+	}
+	perPage := bt.st.usableBytes()
+	var rootLog, prevLog uint32
+	var prevFrame *frame
+	for off := 0; off < len(val); off += perPage {
+		chunk := val[off:min(off+perPage, len(val))]
+		f, l, err := bt.allocNode()
+		if err != nil {
+			return nil, false, err
+		}
+		data := make([]byte, bt.st.pageSize)
+		data[4] = pageOverflow
+		binary.LittleEndian.PutUint32(data[12:16], uint32(len(chunk)))
+		copy(data[pageHeaderSize:], chunk)
+		f.data = data
+		f.dirty = true
+		if rootLog == 0 {
+			rootLog = l
+		}
+		if prevFrame != nil {
+			// Link the previous chunk to this one.
+			nd := make([]byte, bt.st.pageSize)
+			copy(nd, prevFrame.data)
+			binary.LittleEndian.PutUint32(nd[8:12], l)
+			prevFrame.data = nd
+			bt.st.pool.unpin(prevFrame)
+		}
+		prevFrame, prevLog = f, l
+		_ = prevLog
+	}
+	if prevFrame != nil {
+		bt.st.pool.unpin(prevFrame)
+	}
+	ref := make([]byte, 8)
+	binary.LittleEndian.PutUint32(ref[0:4], rootLog)
+	binary.LittleEndian.PutUint32(ref[4:8], uint32(len(val)))
+	return ref, true, nil
+}
+
+// readValue resolves a leaf cell's payload, assembling overflow chains.
+func (bt *btree) readValue(c bcell) ([]byte, error) {
+	if !c.overflow {
+		out := make([]byte, len(c.val))
+		copy(out, c.val)
+		return out, nil
+	}
+	if len(c.val) != 8 {
+		return nil, fmt.Errorf("sql: malformed overflow reference (%d bytes)", len(c.val))
+	}
+	l := binary.LittleEndian.Uint32(c.val[0:4])
+	total := int(binary.LittleEndian.Uint32(c.val[4:8]))
+	out := make([]byte, 0, total)
+	for l != 0 {
+		f, err := bt.st.page(l)
+		if err != nil {
+			return nil, err
+		}
+		next := binary.LittleEndian.Uint32(f.data[8:12])
+		n := int(binary.LittleEndian.Uint32(f.data[12:16]))
+		if n > bt.st.usableBytes() {
+			bt.st.pool.unpin(f)
+			return nil, fmt.Errorf("sql: overflow page %d claims %d bytes", l, n)
+		}
+		out = append(out, f.data[pageHeaderSize:pageHeaderSize+n]...)
+		bt.st.pool.unpin(f)
+		l = next
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("sql: overflow chain yielded %d bytes, want %d", len(out), total)
+	}
+	return out, nil
+}
+
+// freeOverflow releases a cell's overflow chain, if any.
+func (bt *btree) freeOverflow(c bcell) error {
+	if !c.overflow || len(c.val) != 8 {
+		return nil
+	}
+	l := binary.LittleEndian.Uint32(c.val[0:4])
+	for l != 0 {
+		f, err := bt.st.page(l)
+		if err != nil {
+			return err
+		}
+		next := binary.LittleEndian.Uint32(f.data[8:12])
+		bt.st.pool.unpin(f)
+		bt.freeNode(l)
+		l = next
+	}
+	return nil
+}
+
+// --- point operations ---
+
+// get returns the value stored under key.
+func (bt *btree) get(key []byte) ([]byte, bool, error) {
+	pg := bt.root
+	for {
+		f, err := bt.st.page(pg)
+		if err != nil {
+			return nil, false, err
+		}
+		typ, _, extra, cells, err := parseNode(f.data)
+		bt.st.pool.unpin(f)
+		if err != nil {
+			return nil, false, err
+		}
+		if typ == pageBranch {
+			pg = bt.childAt(cells, extra, childIndex(cells, key))
+			continue
+		}
+		i, found := findCell(cells, key)
+		if !found {
+			return nil, false, nil
+		}
+		v, err := bt.readValue(cells[i])
+		return v, err == nil, err
+	}
+}
+
+// put inserts or replaces key's value.
+func (bt *btree) put(key, val []byte) error {
+	if len(key) == 0 || len(key) > bt.st.maxKeyLen() {
+		return fmt.Errorf("sql: btree key length %d out of range (max %d)", len(key), bt.st.maxKeyLen())
+	}
+	split, sep, right, shrank, err := bt.insertRec(bt.root, key, val)
+	if err != nil {
+		return err
+	}
+	if shrank {
+		// Replacing the key's cell with a smaller one would drop the leaf
+		// under minimum fill; route through delete (which rebalances) and a
+		// fresh insert instead.
+		if _, err := bt.delete(key); err != nil {
+			return err
+		}
+		split, sep, right, _, err = bt.insertRec(bt.root, key, val)
+		if err != nil {
+			return err
+		}
+	}
+	if !split {
+		return nil
+	}
+	// Root split: a new branch root with the old root as leftmost child.
+	f, l, err := bt.allocNode()
+	if err != nil {
+		return err
+	}
+	defer bt.st.pool.unpin(f)
+	if err := bt.writeNode(f, pageBranch, 0, bt.root, []bcell{{key: sep, child: right}}); err != nil {
+		return err
+	}
+	bt.root = l
+	return nil
+}
+
+// insertRec descends to key's leaf and inserts or replaces its cell.
+// shrank=true aborts the attempt without modifying the tree: the key exists
+// and replacing its cell with the smaller new one would under-fill the leaf
+// — the caller reroutes through delete (which rebalances) plus a fresh
+// insert.
+func (bt *btree) insertRec(pg uint32, key, val []byte) (split bool, sep []byte, right uint32, shrank bool, err error) {
+	f, err := bt.st.page(pg)
+	if err != nil {
+		return false, nil, 0, false, err
+	}
+	defer bt.st.pool.unpin(f)
+	typ, next, extra, cells, err := parseNode(f.data)
+	if err != nil {
+		return false, nil, 0, false, err
+	}
+
+	if typ == pageBranch {
+		ci := childIndex(cells, key)
+		csplit, csep, cright, cshrank, err := bt.insertRec(bt.childAt(cells, extra, ci), key, val)
+		if err != nil || cshrank || !csplit {
+			return false, nil, 0, cshrank, err
+		}
+		nc := make([]bcell, 0, len(cells)+1)
+		nc = append(nc, cells[:ci+1]...)
+		nc = append(nc, bcell{key: csep, child: cright})
+		nc = append(nc, cells[ci+1:]...)
+		if bt.fits(nc, true) {
+			return false, nil, 0, false, bt.writeNode(f, pageBranch, next, extra, nc)
+		}
+		m := bt.splitIndex(nc, true)
+		promoted := append([]byte(nil), nc[m].key...)
+		rf, rlog, err := bt.allocNode()
+		if err != nil {
+			return false, nil, 0, false, err
+		}
+		defer bt.st.pool.unpin(rf)
+		if err := bt.writeNode(rf, pageBranch, 0, nc[m].child, nc[m+1:]); err != nil {
+			return false, nil, 0, false, err
+		}
+		if err := bt.writeNode(f, pageBranch, next, extra, nc[:m]); err != nil {
+			return false, nil, 0, false, err
+		}
+		return true, promoted, rlog, false, nil
+	}
+
+	// Leaf.
+	k := make([]byte, len(key))
+	copy(k, key)
+	i, found := findCell(cells, key)
+	if found && pg != bt.root {
+		// Probe the replacement for under-fill before building it (the old
+		// overflow chain must not be freed on the abort path).
+		newSize := 6 + len(k) + len(val)
+		if 6+len(k)+len(val) > bt.st.maxCellSize() {
+			newSize = 6 + len(k) + 8 // spills: cell holds an overflow ref
+		}
+		size := cellsSize(cells, false) - leafCellSize(cells[i]) + newSize
+		if size < bt.st.usableBytes()/4 {
+			return false, nil, 0, true, nil
+		}
+	}
+	payload, ovf, err := bt.makeValue(len(k), val)
+	if err != nil {
+		return false, nil, 0, false, err
+	}
+	newCell := bcell{key: k, val: payload, overflow: ovf}
+	nc := make([]bcell, 0, len(cells)+1)
+	if found {
+		if err := bt.freeOverflow(cells[i]); err != nil {
+			return false, nil, 0, false, err
+		}
+		nc = append(nc, cells...)
+		nc[i] = newCell
+	} else {
+		nc = append(nc, cells[:i]...)
+		nc = append(nc, newCell)
+		nc = append(nc, cells[i:]...)
+	}
+	if bt.fits(nc, false) {
+		return false, nil, 0, false, bt.writeNode(f, pageLeaf, next, extra, nc)
+	}
+	m := bt.splitIndex(nc, false)
+	rf, rlog, err := bt.allocNode()
+	if err != nil {
+		return false, nil, 0, false, err
+	}
+	defer bt.st.pool.unpin(rf)
+	if err := bt.writeNode(rf, pageLeaf, next, 0, nc[m:]); err != nil {
+		return false, nil, 0, false, err
+	}
+	if err := bt.writeNode(f, pageLeaf, rlog, extra, nc[:m]); err != nil {
+		return false, nil, 0, false, err
+	}
+	sep = append([]byte(nil), nc[m].key...)
+	return true, sep, rlog, false, nil
+}
+
+// splitIndex picks a split point with both sides at least quarter-full when
+// one exists (a large cell straddling the byte midpoint can otherwise leave
+// the far side under-filled), preferring the most even byte split among the
+// qualifying points.
+func (bt *btree) splitIndex(cells []bcell, branch bool) int {
+	total := cellsSize(cells, branch)
+	minFill := bt.st.usableBytes() / 4
+	usable := bt.st.usableBytes()
+	best, bestScore := -1, 0
+	anyBest, anyScore := 1, int(^uint(0)>>1)
+	acc := 0
+	for i := 0; i+1 < len(cells); i++ {
+		if branch {
+			acc += branchCellSize(cells[i])
+		} else {
+			acc += leafCellSize(cells[i])
+		}
+		left, right := acc, total-acc
+		if branch {
+			// The split cell is promoted to the parent, not kept on the right.
+			right -= branchCellSize(cells[i+1])
+		}
+		score := left - right
+		if score < 0 {
+			score = -score
+		}
+		if left >= minFill && right >= minFill && left <= usable && right <= usable &&
+			(best == -1 || score < bestScore) {
+			best, bestScore = i+1, score
+		}
+		if score < anyScore {
+			anyBest, anyScore = i+1, score
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	return anyBest
+}
+
+// delete removes key; found reports whether it was present.
+func (bt *btree) delete(key []byte) (bool, error) {
+	found, _, err := bt.deleteRec(bt.root, key)
+	if err != nil || !found {
+		return found, err
+	}
+	// Root collapse: a branch root left with no separators has one child.
+	f, err := bt.st.page(bt.root)
+	if err != nil {
+		return true, err
+	}
+	typ, _, extra, cells, perr := parseNode(f.data)
+	bt.st.pool.unpin(f)
+	if perr != nil {
+		return true, perr
+	}
+	if typ == pageBranch && len(cells) == 0 {
+		old := bt.root
+		bt.root = extra
+		bt.freeNode(old)
+	}
+	return true, nil
+}
+
+func (bt *btree) underflowing(cells []bcell, branch bool) bool {
+	return cellsSize(cells, branch) < bt.st.usableBytes()/4
+}
+
+func (bt *btree) deleteRec(pg uint32, key []byte) (found, underflow bool, err error) {
+	f, err := bt.st.page(pg)
+	if err != nil {
+		return false, false, err
+	}
+	defer bt.st.pool.unpin(f)
+	typ, next, extra, cells, err := parseNode(f.data)
+	if err != nil {
+		return false, false, err
+	}
+
+	if typ == pageLeaf {
+		i, ok := findCell(cells, key)
+		if !ok {
+			return false, false, nil
+		}
+		if err := bt.freeOverflow(cells[i]); err != nil {
+			return false, false, err
+		}
+		nc := make([]bcell, 0, len(cells)-1)
+		nc = append(nc, cells[:i]...)
+		nc = append(nc, cells[i+1:]...)
+		if err := bt.writeNode(f, pageLeaf, next, extra, nc); err != nil {
+			return false, false, err
+		}
+		return true, bt.underflowing(nc, false), nil
+	}
+
+	ci := childIndex(cells, key)
+	childLog := bt.childAt(cells, extra, ci)
+	found, uf, err := bt.deleteRec(childLog, key)
+	if err != nil || !found {
+		return found, false, err
+	}
+	if !uf {
+		return true, false, nil
+	}
+	nc, nextra, err := bt.rebalance(cells, extra, ci)
+	if err != nil {
+		return true, false, err
+	}
+	if err := bt.writeNode(f, pageBranch, next, nextra, nc); err != nil {
+		return true, false, err
+	}
+	return true, bt.underflowing(nc, true), nil
+}
+
+// rebalance fixes an underflowing child of a branch (cells, extra) by
+// merging it with a sibling or redistributing cells between them, returning
+// the branch's updated separators and leftmost child. childListIdx is the
+// child's position as childIndex reports it (-1 = leftmost).
+func (bt *btree) rebalance(cells []bcell, extra uint32, childListIdx int) ([]bcell, uint32, error) {
+	// Work on the (left, right) adjacent pair containing the child; the
+	// parent cell between them is cells[ri-1] where positions count the
+	// leftmost child as 0.
+	pos := childListIdx + 1
+	li := pos
+	if pos >= len(cells) { // child is rightmost: pair with its left sibling
+		li = pos - 1
+	}
+	ri := li + 1
+	leftLog := bt.childAt(cells, extra, li-1)
+	rightLog := cells[ri-1].child
+
+	lf, err := bt.st.page(leftLog)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer bt.st.pool.unpin(lf)
+	rf, err := bt.st.page(rightLog)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer bt.st.pool.unpin(rf)
+	ltyp, lnext, lextra, lcells, err := parseNode(lf.data)
+	if err != nil {
+		return nil, 0, err
+	}
+	rtyp, rnext, rextra, rcells, err := parseNode(rf.data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ltyp != rtyp {
+		return nil, 0, fmt.Errorf("sql: btree sibling type mismatch (%d vs %d)", ltyp, rtyp)
+	}
+
+	out := make([]bcell, len(cells))
+	copy(out, cells)
+
+	if ltyp == pageLeaf {
+		combined := make([]bcell, 0, len(lcells)+len(rcells))
+		combined = append(combined, lcells...)
+		combined = append(combined, rcells...)
+		if bt.fits(combined, false) {
+			// Merge right into left; the leaf chain skips the freed page.
+			if err := bt.writeNode(lf, pageLeaf, rnext, lextra, combined); err != nil {
+				return nil, 0, err
+			}
+			bt.freeNode(rightLog)
+			out = append(out[:ri-1], out[ri:]...)
+			return out, extra, nil
+		}
+		m := bt.splitIndex(combined, false)
+		if err := bt.writeNode(lf, pageLeaf, lnext, lextra, combined[:m]); err != nil {
+			return nil, 0, err
+		}
+		if err := bt.writeNode(rf, pageLeaf, rnext, rextra, combined[m:]); err != nil {
+			return nil, 0, err
+		}
+		out[ri-1] = bcell{key: append([]byte(nil), combined[m].key...), child: rightLog}
+		return out, extra, nil
+	}
+
+	// Branch siblings rotate through the parent separator.
+	sep := append([]byte(nil), cells[ri-1].key...)
+	combined := make([]bcell, 0, len(lcells)+len(rcells)+1)
+	combined = append(combined, lcells...)
+	combined = append(combined, bcell{key: sep, child: rextra})
+	combined = append(combined, rcells...)
+	if bt.fits(combined, true) {
+		if err := bt.writeNode(lf, pageBranch, lnext, lextra, combined); err != nil {
+			return nil, 0, err
+		}
+		bt.freeNode(rightLog)
+		out = append(out[:ri-1], out[ri:]...)
+		return out, extra, nil
+	}
+	m := bt.splitIndex(combined, true)
+	promoted := append([]byte(nil), combined[m].key...)
+	if err := bt.writeNode(lf, pageBranch, lnext, lextra, combined[:m]); err != nil {
+		return nil, 0, err
+	}
+	if err := bt.writeNode(rf, pageBranch, rnext, combined[m].child, combined[m+1:]); err != nil {
+		return nil, 0, err
+	}
+	out[ri-1] = bcell{key: promoted, child: rightLog}
+	return out, extra, nil
+}
+
+// --- range scans ---
+
+// scan visits keys ≥ from (nil = everything) in order until fn returns
+// false. fn must not re-enter the store.
+func (bt *btree) scan(from []byte, fn func(key, val []byte) bool) error {
+	pg := bt.root
+	for {
+		f, err := bt.st.page(pg)
+		if err != nil {
+			return err
+		}
+		typ, _, extra, cells, perr := parseNode(f.data)
+		bt.st.pool.unpin(f)
+		if perr != nil {
+			return perr
+		}
+		if typ != pageBranch {
+			break
+		}
+		if from == nil {
+			pg = extra
+		} else {
+			pg = bt.childAt(cells, extra, childIndex(cells, from))
+		}
+	}
+	for pg != 0 {
+		f, err := bt.st.page(pg)
+		if err != nil {
+			return err
+		}
+		_, next, _, cells, perr := parseNode(f.data)
+		bt.st.pool.unpin(f)
+		if perr != nil {
+			return perr
+		}
+		start := 0
+		if from != nil {
+			start, _ = findCell(cells, from)
+		}
+		for _, c := range cells[start:] {
+			v, err := bt.readValue(c)
+			if err != nil {
+				return err
+			}
+			if !fn(c.key, v) {
+				return nil
+			}
+		}
+		from = nil
+		pg = next
+	}
+	return nil
+}
+
+// freeAll releases every page the tree owns (drop table / rebuild).
+func (bt *btree) freeAll() error {
+	var rec func(pg uint32) error
+	rec = func(pg uint32) error {
+		f, err := bt.st.page(pg)
+		if err != nil {
+			return err
+		}
+		typ, _, extra, cells, perr := parseNode(f.data)
+		bt.st.pool.unpin(f)
+		if perr != nil {
+			return perr
+		}
+		if typ == pageBranch {
+			if err := rec(extra); err != nil {
+				return err
+			}
+			for _, c := range cells {
+				if err := rec(c.child); err != nil {
+					return err
+				}
+			}
+		} else {
+			for _, c := range cells {
+				if err := bt.freeOverflow(c); err != nil {
+					return err
+				}
+			}
+		}
+		bt.freeNode(pg)
+		return nil
+	}
+	return rec(bt.root)
+}
+
+// --- invariant checking (test harness support) ---
+
+// btreeCheck walks the whole tree verifying structural invariants: key
+// ordering and separator bounds, uniform leaf depth, minimum fill of every
+// non-root node, and leaf sibling chain integrity. It reports each
+// violation through errf and returns the set of reachable pages (including
+// overflow pages) for the store-level free-list cross-check.
+func (bt *btree) check(errf func(format string, args ...any)) map[uint32]bool {
+	reachable := make(map[uint32]bool)
+	var leaves []uint32     // in-order leaf ids from the tree walk
+	var chainHeads []uint32 // leaf next pointers, parallel to leaves
+	leafDepth := -1
+
+	var walk func(pg uint32, depth int, lo, hi []byte)
+	walk = func(pg uint32, depth int, lo, hi []byte) {
+		if reachable[pg] {
+			errf("page %d reachable twice", pg)
+			return
+		}
+		reachable[pg] = true
+		f, err := bt.st.page(pg)
+		if err != nil {
+			errf("page %d: %v", pg, err)
+			return
+		}
+		typ, next, extra, cells, perr := parseNode(f.data)
+		bt.st.pool.unpin(f)
+		if perr != nil {
+			errf("page %d: %v", pg, perr)
+			return
+		}
+		for i, c := range cells {
+			if i > 0 && bytes.Compare(cells[i-1].key, c.key) >= 0 {
+				errf("page %d: keys out of order at cell %d", pg, i)
+			}
+			if lo != nil && bytes.Compare(c.key, lo) < 0 {
+				errf("page %d: cell %d key below subtree bound", pg, i)
+			}
+			if hi != nil && bytes.Compare(c.key, hi) >= 0 {
+				errf("page %d: cell %d key above subtree bound", pg, i)
+			}
+		}
+		if pg != bt.root && bt.underflowing(cells, typ == pageBranch) {
+			errf("page %d: under minimum fill (%d bytes < %d)", pg, cellsSize(cells, typ == pageBranch), bt.st.usableBytes()/4)
+		}
+		switch typ {
+		case pageBranch:
+			if len(cells) == 0 && pg == bt.root {
+				errf("page %d: root branch with no separators", pg)
+				return
+			}
+			childLo := lo
+			for i := -1; i < len(cells); i++ {
+				var childHi []byte
+				if i+1 < len(cells) {
+					childHi = cells[i+1].key
+				} else {
+					childHi = hi
+				}
+				walk(bt.childAt(cells, extra, i), depth+1, childLo, childHi)
+				if i+1 < len(cells) {
+					childLo = cells[i+1].key
+				}
+			}
+		case pageLeaf:
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				errf("page %d: leaf at depth %d, expected %d", pg, depth, leafDepth)
+			}
+			leaves = append(leaves, pg)
+			chainHeads = append(chainHeads, next)
+			for _, c := range cells {
+				if c.overflow {
+					bt.markOverflowReachable(c, reachable, errf)
+				}
+			}
+		default:
+			errf("page %d: unexpected type %d in tree position", pg, typ)
+		}
+	}
+	walk(bt.root, 0, nil, nil)
+
+	// The leaf sibling chain must mirror the in-order leaf sequence.
+	for i, pg := range leaves {
+		want := uint32(0)
+		if i+1 < len(leaves) {
+			want = leaves[i+1]
+		}
+		if chainHeads[i] != want {
+			errf("page %d: leaf chain points to %d, want %d", pg, chainHeads[i], want)
+		}
+	}
+	if len(reachable) != bt.npages {
+		errf("tree claims %d pages but %d are reachable", bt.npages, len(reachable))
+	}
+	return reachable
+}
+
+func (bt *btree) markOverflowReachable(c bcell, reachable map[uint32]bool, errf func(string, ...any)) {
+	if len(c.val) != 8 {
+		errf("overflow cell with %d-byte reference", len(c.val))
+		return
+	}
+	l := binary.LittleEndian.Uint32(c.val[0:4])
+	for l != 0 {
+		if reachable[l] {
+			errf("overflow page %d reachable twice", l)
+			return
+		}
+		reachable[l] = true
+		f, err := bt.st.page(l)
+		if err != nil {
+			errf("overflow page %d: %v", l, err)
+			return
+		}
+		next := binary.LittleEndian.Uint32(f.data[8:12])
+		if f.data[4] != pageOverflow {
+			errf("overflow page %d has type %d", l, f.data[4])
+		}
+		bt.st.pool.unpin(f)
+		l = next
+	}
+}

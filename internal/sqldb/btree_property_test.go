@@ -1,0 +1,357 @@
+package sqldb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// newTestStore opens a bare paged store (no DB on top) for direct tree
+// manipulation.
+func newTestStore(t testing.TB, pageSize, poolPages int) *pagedStore {
+	t.Helper()
+	s, err := openPagedStore(t.TempDir(), pageSize, poolPages)
+	if err != nil {
+		t.Fatalf("openPagedStore: %v", err)
+	}
+	t.Cleanup(func() { s.close() })
+	return s
+}
+
+// assertTreeInvariants runs the tree's structural check plus the store-wide
+// page accounting and fails on any violation.
+func assertTreeInvariants(t testing.TB, s *pagedStore, bt *btree, when string) {
+	t.Helper()
+	var errs []string
+	bt.check(func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	})
+	errs = append(errs, s.checkAll()...)
+	if len(errs) != 0 {
+		t.Fatalf("invariants violated %s:\n%s", when, errs)
+	}
+}
+
+// assertTreeMatches compares the tree's full scan against a reference map.
+func assertTreeMatches(t testing.TB, bt *btree, ref map[string][]byte, when string) {
+	t.Helper()
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	err := bt.scan(nil, func(k, v []byte) bool {
+		if i >= len(keys) {
+			t.Fatalf("%s: tree has extra key %q", when, k)
+		}
+		if string(k) != keys[i] {
+			t.Fatalf("%s: key %d = %q, want %q", when, i, k, keys[i])
+		}
+		if !bytes.Equal(v, ref[keys[i]]) {
+			t.Fatalf("%s: value mismatch at key %q (%d vs %d bytes)", when, k, len(v), len(ref[keys[i]]))
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("%s: scan: %v", when, err)
+	}
+	if i != len(keys) {
+		t.Fatalf("%s: tree has %d keys, want %d", when, i, len(keys))
+	}
+}
+
+// TestBtreePropertyRandomOps drives a randomized insert/update/delete/scan
+// sequence against a reference model, asserting the full invariant set
+// after every mutation. Small pages force deep trees, splits, merges, and
+// overflow chains; the tiny pool forces eviction mid-operation.
+func TestBtreePropertyRandomOps(t *testing.T) {
+	seeds := []int64{1, 7, 42, 20260808}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := newTestStore(t, 256, 4)
+			bt, err := createBtree(s)
+			if err != nil {
+				t.Fatalf("createBtree: %v", err)
+			}
+			ref := make(map[string][]byte)
+			live := []string{} // insertion-ordered keys for delete targeting
+
+			const ops = 1200
+			for op := 0; op < ops; op++ {
+				roll := rng.Intn(100)
+				switch {
+				case roll < 55 || len(live) == 0: // insert or update
+					key := fmt.Sprintf("k%05d", rng.Intn(2000))
+					vlen := rng.Intn(40)
+					if rng.Intn(20) == 0 {
+						vlen = 200 + rng.Intn(800) // overflow-sized
+					}
+					val := make([]byte, vlen)
+					rng.Read(val)
+					if err := bt.put([]byte(key), val); err != nil {
+						t.Fatalf("op %d: put(%q): %v", op, key, err)
+					}
+					if _, seen := ref[key]; !seen {
+						live = append(live, key)
+					}
+					ref[key] = val
+				case roll < 85: // delete (half existing, half missing)
+					var key string
+					if rng.Intn(2) == 0 {
+						key = live[rng.Intn(len(live))]
+					} else {
+						key = fmt.Sprintf("k%05d", rng.Intn(2000))
+					}
+					found, err := bt.delete([]byte(key))
+					if err != nil {
+						t.Fatalf("op %d: delete(%q): %v", op, key, err)
+					}
+					_, want := ref[key]
+					if found != want {
+						t.Fatalf("op %d: delete(%q) found=%v, ref says %v", op, key, found, want)
+					}
+					if want {
+						delete(ref, key)
+						for i, k := range live {
+							if k == key {
+								live = append(live[:i], live[i+1:]...)
+								break
+							}
+						}
+					}
+				default: // point get + range scan spot check
+					key := fmt.Sprintf("k%05d", rng.Intn(2000))
+					got, found, err := bt.get([]byte(key))
+					if err != nil {
+						t.Fatalf("op %d: get(%q): %v", op, key, err)
+					}
+					want, ok := ref[key]
+					if found != ok || (found && !bytes.Equal(got, want)) {
+						t.Fatalf("op %d: get(%q) = (%d bytes, %v), want (%d bytes, %v)", op, key, len(got), found, len(want), ok)
+					}
+					continue // reads don't need a fresh invariant pass
+				}
+				assertTreeInvariants(t, s, bt, fmt.Sprintf("after op %d", op))
+			}
+			assertTreeMatches(t, bt, ref, "at end")
+
+			// Drain to empty: underflow/merge paths all the way down.
+			sort.Strings(live)
+			for _, key := range live {
+				if _, err := bt.delete([]byte(key)); err != nil {
+					t.Fatalf("drain delete(%q): %v", key, err)
+				}
+				delete(ref, key)
+			}
+			assertTreeInvariants(t, s, bt, "after drain")
+			assertTreeMatches(t, bt, ref, "after drain")
+			if bt.npages != 1 {
+				t.Fatalf("drained tree holds %d pages, want 1", bt.npages)
+			}
+		})
+	}
+}
+
+// TestBtreeRangeScanFrom checks scan(from) starts at the right key.
+func TestBtreeRangeScanFrom(t *testing.T) {
+	s := newTestStore(t, 256, 4)
+	bt, err := createBtree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := bt.put([]byte(fmt.Sprintf("k%04d", i*2)), []byte{byte(i)}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	var got []string
+	err = bt.scan([]byte("k0101"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return len(got) < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"k0102", "k0104", "k0106"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("scan from k0101 = %v, want %v", got, want)
+	}
+	assertTreeInvariants(t, s, bt, "after scans")
+}
+
+// TestBtreeFreelistReuse: pages freed by deletes must be recycled by later
+// growth rather than extending the file forever.
+func TestBtreeFreelistReuse(t *testing.T) {
+	s := newTestStore(t, 256, 4)
+	bt, err := createBtree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := func(tag string) {
+		for i := 0; i < 300; i++ {
+			if err := bt.put([]byte(fmt.Sprintf("%s%04d", tag, i)), []byte(tag)); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+	}
+	drain := func(tag string) {
+		for i := 0; i < 300; i++ {
+			if _, err := bt.delete([]byte(fmt.Sprintf("%s%04d", tag, i))); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+		}
+	}
+	fill("a")
+	high := len(s.ptab)
+	drain("a")
+	fill("b")
+	if grown := len(s.ptab) - high; grown > 2 {
+		t.Fatalf("refill grew the logical page space by %d pages; free list not reused", grown)
+	}
+	assertTreeInvariants(t, s, bt, "after refill")
+}
+
+// FuzzBtreeOps is the `go test -fuzz` entry: the fuzzer evolves an opcode
+// string that drives the same model-checked mutation sequence.
+func FuzzBtreeOps(f *testing.F) {
+	f.Add([]byte("iiiiidgidgiddgiii"))
+	f.Add([]byte{0x00, 0xFF, 0x80, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 512 {
+			program = program[:512]
+		}
+		s := newTestStore(t, 256, 4)
+		bt, err := createBtree(s)
+		if err != nil {
+			t.Fatalf("createBtree: %v", err)
+		}
+		ref := make(map[string][]byte)
+		for pc := 0; pc+1 < len(program); pc += 2 {
+			op, arg := program[pc], int(program[pc+1])
+			key := fmt.Sprintf("k%03d", arg)
+			switch op % 3 {
+			case 0:
+				val := bytes.Repeat([]byte{byte(arg)}, arg%97)
+				if err := bt.put([]byte(key), val); err != nil {
+					t.Fatalf("pc %d: put: %v", pc, err)
+				}
+				ref[key] = val
+			case 1:
+				found, err := bt.delete([]byte(key))
+				if err != nil {
+					t.Fatalf("pc %d: delete: %v", pc, err)
+				}
+				if _, want := ref[key]; found != want {
+					t.Fatalf("pc %d: delete(%q) found=%v want %v", pc, key, found, want)
+				}
+				delete(ref, key)
+			case 2:
+				got, found, err := bt.get([]byte(key))
+				if err != nil {
+					t.Fatalf("pc %d: get: %v", pc, err)
+				}
+				want, ok := ref[key]
+				if found != ok || (found && !bytes.Equal(got, want)) {
+					t.Fatalf("pc %d: get(%q) mismatch", pc, key)
+				}
+				continue
+			}
+			assertTreeInvariants(t, s, bt, fmt.Sprintf("pc %d", pc))
+		}
+		assertTreeMatches(t, bt, ref, "at end")
+	})
+}
+
+// TestBtreePersistenceAcrossCheckpointCycles exercises the shadow-paging
+// cycle at the tree level: mutate, checkpoint via a store-level flush+meta
+// flip, reopen, verify, repeat.
+func TestBtreePersistenceAcrossCheckpointCycles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openPagedStore(dir, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := createBtree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[string][]byte)
+	rng := rand.New(rand.NewSource(99))
+	root, npages := bt.root, bt.npages
+
+	flush := func() {
+		t.Helper()
+		if err := s.pool.flushDirty(func(l uint32, data []byte) error {
+			return s.pg.writeSlot(s.ptab[l], data, faultPageWrite)
+		}); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		slots, err := s.writePageTable()
+		if err != nil {
+			t.Fatalf("writePageTable: %v", err)
+		}
+		if err := s.pg.sync(faultDataSync); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		meta := &pagerMeta{
+			seq: s.seq + 1, pageSize: s.pageSize, physHigh: s.physHigh,
+			nLogical: uint32(len(s.ptab) - 1), catalogRoot: root,
+			catPages: uint32(npages), ptabSlots: slots,
+		}
+		if err := s.pg.writeMeta(meta); err != nil {
+			t.Fatalf("writeMeta: %v", err)
+		}
+		s.seq++
+		s.freePhys = append(s.freePhys, s.pendFree...)
+		s.pendFree = nil
+		s.freePhys = append(s.freePhys, s.ptabSlots...)
+		s.ptabSlots = slots
+		s.shadowed = make(map[uint32]bool)
+	}
+
+	for cycle := 0; cycle < 4; cycle++ {
+		for i := 0; i < 150; i++ {
+			key := fmt.Sprintf("c%dk%03d", cycle, rng.Intn(400))
+			if rng.Intn(4) == 0 {
+				if _, err := bt.delete([]byte(key)); err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+				delete(ref, key)
+			} else {
+				val := []byte(fmt.Sprintf("v%d", rng.Int63()))
+				if err := bt.put([]byte(key), val); err != nil {
+					t.Fatalf("put: %v", err)
+				}
+				ref[key] = val
+			}
+		}
+		root, npages = bt.root, bt.npages
+		flush()
+
+		// Reopen from disk and verify the durable image.
+		if err := s.close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		s, err = openPagedStore(dir, 256, 4)
+		if err != nil {
+			t.Fatalf("reopen cycle %d: %v", cycle, err)
+		}
+		if s.catalog == nil || s.catalog.root != root {
+			t.Fatalf("cycle %d: reopened root = %v, want %d", cycle, s.catalog, root)
+		}
+		bt = s.catalog
+		assertTreeInvariants(t, s, bt, fmt.Sprintf("cycle %d reopen", cycle))
+		assertTreeMatches(t, bt, ref, fmt.Sprintf("cycle %d reopen", cycle))
+	}
+	s.close()
+	_ = filepath.Join // silence unused import when helpers change
+}

@@ -1,0 +1,182 @@
+package sqldb
+
+import (
+	"sort"
+)
+
+// LRU buffer pool over logical pages. The pool caches page images between
+// the B+trees above and the pager below; every tree operation pins the
+// frames it is touching (pins block eviction) and unpins them before
+// returning.
+//
+// Eviction policy: only clean, unpinned frames are evicted. Dirty frames
+// stay resident until a checkpoint flushes them — that is what gives the
+// engine its WAL-before-data ordering for free: modified pages can only
+// reach disk through the checkpoint path, which syncs the WAL first, so an
+// eviction can never write a page whose creating commit is not yet durable.
+// The cap is therefore soft: the pool may exceed it by the number of dirty
+// or pinned frames, and a checkpoint (which cleans everything) brings it
+// back under.
+type bufferPool struct {
+	cap    int
+	frames map[uint32]*frame
+	// LRU list of resident frames, most recently used at head.
+	head, tail *frame
+
+	// readPage faults a logical page in from disk on a miss.
+	readPage func(logical uint32) ([]byte, error)
+
+	hits, misses, evictions uint64
+}
+
+// frame is one resident page.
+type frame struct {
+	logical    uint32
+	data       []byte
+	dirty      bool
+	pins       int
+	prev, next *frame
+}
+
+const defaultPoolPages = 256
+
+func newBufferPool(cap int, readPage func(uint32) ([]byte, error)) *bufferPool {
+	if cap < 4 {
+		cap = 4
+	}
+	return &bufferPool{cap: cap, frames: make(map[uint32]*frame), readPage: readPage}
+}
+
+func (bp *bufferPool) unlink(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else if bp.head == f {
+		bp.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else if bp.tail == f {
+		bp.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+func (bp *bufferPool) pushFront(f *frame) {
+	f.prev, f.next = nil, bp.head
+	if bp.head != nil {
+		bp.head.prev = f
+	}
+	bp.head = f
+	if bp.tail == nil {
+		bp.tail = f
+	}
+}
+
+// get returns the frame for a logical page, faulting it in on a miss. The
+// frame comes back pinned; the caller must unpin it.
+func (bp *bufferPool) get(logical uint32) (*frame, error) {
+	if f, ok := bp.frames[logical]; ok {
+		bp.hits++
+		bp.unlink(f)
+		bp.pushFront(f)
+		f.pins++
+		return f, nil
+	}
+	bp.misses++
+	data, err := bp.readPage(logical)
+	if err != nil {
+		return nil, err
+	}
+	f := &frame{logical: logical, data: data, pins: 1}
+	bp.frames[logical] = f
+	bp.pushFront(f)
+	bp.evictToCap()
+	return f, nil
+}
+
+// install adds a brand-new page (from an allocation) as a pinned dirty
+// frame without touching disk.
+func (bp *bufferPool) install(logical uint32, data []byte) *frame {
+	f := &frame{logical: logical, data: data, dirty: true, pins: 1}
+	bp.frames[logical] = f
+	bp.pushFront(f)
+	bp.evictToCap()
+	return f
+}
+
+func (bp *bufferPool) unpin(f *frame) {
+	if f.pins > 0 {
+		f.pins--
+	}
+}
+
+// drop discards a frame (page freed), dirty or not.
+func (bp *bufferPool) drop(logical uint32) {
+	if f, ok := bp.frames[logical]; ok {
+		bp.unlink(f)
+		delete(bp.frames, logical)
+	}
+}
+
+// evictToCap walks the LRU tail discarding clean unpinned frames until the
+// pool is back under its cap (or no frame is evictable).
+func (bp *bufferPool) evictToCap() {
+	f := bp.tail
+	for len(bp.frames) > bp.cap && f != nil {
+		prev := f.prev
+		if !f.dirty && f.pins == 0 {
+			bp.unlink(f)
+			delete(bp.frames, f.logical)
+			bp.evictions++
+		}
+		f = prev
+	}
+}
+
+// flushDirty writes every dirty frame through fn in logical-id order
+// (deterministic I/O for the crash tests), marking each clean as it lands.
+// On error the remaining frames stay dirty and the flush aborts.
+func (bp *bufferPool) flushDirty(fn func(logical uint32, data []byte) error) error {
+	dirty := make([]*frame, 0, len(bp.frames))
+	for _, f := range bp.frames {
+		if f.dirty {
+			dirty = append(dirty, f)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].logical < dirty[j].logical })
+	for _, f := range dirty {
+		if err := fn(f.logical, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	bp.evictToCap()
+	return nil
+}
+
+// reset discards every frame (store rebuild).
+func (bp *bufferPool) reset() {
+	bp.frames = make(map[uint32]*frame)
+	bp.head, bp.tail = nil, nil
+}
+
+// PoolStats is a point-in-time snapshot of buffer-pool behaviour, exposed
+// for tests and benchmarks.
+type PoolStats struct {
+	Cap       int
+	Resident  int
+	Dirty     int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+func (bp *bufferPool) stats() PoolStats {
+	st := PoolStats{Cap: bp.cap, Resident: len(bp.frames), Hits: bp.hits, Misses: bp.misses, Evictions: bp.evictions}
+	for _, f := range bp.frames {
+		if f.dirty {
+			st.Dirty++
+		}
+	}
+	return st
+}

@@ -13,7 +13,7 @@ import (
 // registration, and plan-cache toggling. It exists to fail under -race if
 // any path touches shared state outside the locking discipline.
 func TestConcurrentReadsAndWrites(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE m (id integer, x float)`)
 	mustExec(t, db, `CREATE INDEX mi ON m (id) USING hash`)
 	for i := 0; i < 200; i++ {
@@ -81,7 +81,7 @@ func TestConcurrentReadsAndWrites(t *testing.T) {
 // parallel against an indexed table: all of them classify as shared-lock
 // statements and must return consistent results.
 func TestConcurrentIndexedReaders(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE m (id integer, x float)`)
 	for i := 0; i < 500; i++ {
 		mustExec(t, db, `INSERT INTO m VALUES ($1, $2)`, i, float64(i))
@@ -113,7 +113,7 @@ func TestConcurrentIndexedReaders(t *testing.T) {
 // TestWriteUDFUnderSelect verifies that a SELECT invoking a UDF with side
 // effects classifies as exclusive and its nested writes land safely.
 func TestWriteUDFUnderSelect(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE log (n integer)`)
 	db.RegisterScalar("log_append", func(d *DB, args []variant.Value) (variant.Value, error) {
 		if _, err := d.QueryNested(`INSERT INTO log VALUES ($1)`, args[0]); err != nil {
@@ -160,7 +160,7 @@ func mustParse(t *testing.T, sql string) Statement {
 // TestReadOnlyClassification pins the classifier's behaviour for statement
 // shapes the lock discipline depends on.
 func TestReadOnlyClassification(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	db.RegisterScalarReadOnly("pure_fn", func(_ *DB, _ []variant.Value) (variant.Value, error) {
 		return variant.NewInt(1), nil
 	})
@@ -194,7 +194,7 @@ func TestReadOnlyClassification(t *testing.T) {
 // sorts the index's backing slice in place). A writer keeps re-creating the
 // unsorted bucket so concurrent readers repeatedly hit the racy window.
 func TestConcurrentLookupAfterUpdate(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE r (id integer, v integer)`)
 	mustExec(t, db, `INSERT INTO r VALUES (3, 0), (1, 1), (2, 2)`)
 	mustExec(t, db, `CREATE INDEX ri ON r (id) USING hash`)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,13 +75,30 @@ type DB struct {
 	// snaps tracks open explicit concurrent transactions for Vacuum's
 	// oldest-active-snapshot watermark.
 	snaps *snapTracker
+
+	// store is the on-disk storage engine (pager + B+trees + buffer pool);
+	// nil for in-memory and snapshot-file databases. Attached by
+	// EnableDurability when DurabilityOptions.Paged is set.
+	store *pagedStore
+	// rowidSeq allocates the stable per-row identities the paged store keys
+	// its heaps by. Only advanced when a store is (or is being) attached.
+	rowidSeq atomic.Uint64
+	// replayOps buffers the current WAL transaction's row changes during
+	// paged recovery, applied to the store at each replayed commit.
+	replayOps []pagedOp
+	// lockWaitNanos bounds how long a transaction that already holds latches
+	// (or the shared lock) waits for another table's latch; expiry surfaces
+	// as ErrWriteConflict, converting potential latch-order deadlocks into a
+	// retryable error. Configurable because slow CI machines can hold
+	// latches past the default (see SetLockWaitTimeout).
+	lockWaitNanos atomic.Int64
 }
 
-// latchWaitTimeout bounds how long a transaction that already holds latches
-// (or the shared lock) waits for another table's latch; expiry surfaces as
-// ErrWriteConflict, converting potential latch-order deadlocks between
-// multi-table transactions into a retryable error.
-const latchWaitTimeout = time.Second
+// defaultLockWaitTimeout is the default latch-wait bound (see
+// DB.lockWaitNanos); override per database with SetLockWaitTimeout or
+// process-wide with the PGFMU_LOCK_WAIT_TIMEOUT environment variable (a Go
+// duration, e.g. "5s").
+const defaultLockWaitTimeout = time.Second
 
 // New creates an empty database with the plan cache enabled.
 func New() *DB {
@@ -95,7 +113,29 @@ func New() *DB {
 	// Recovery replay stamps rows with timestamp 1; starting the clock there
 	// makes them visible to the first snapshot.
 	db.clock.Store(1)
+	wait := defaultLockWaitTimeout
+	if env := os.Getenv("PGFMU_LOCK_WAIT_TIMEOUT"); env != "" {
+		if d, err := time.ParseDuration(env); err == nil && d > 0 {
+			wait = d
+		}
+	}
+	db.lockWaitNanos.Store(int64(wait))
 	return db
+}
+
+// SetLockWaitTimeout adjusts how long writers wait for a busy table latch
+// before giving up with ErrWriteConflict. Zero or negative restores the
+// default. Safe to call at any time; in-flight waits keep their old bound.
+func (db *DB) SetLockWaitTimeout(d time.Duration) {
+	if d <= 0 {
+		d = defaultLockWaitTimeout
+	}
+	db.lockWaitNanos.Store(int64(d))
+}
+
+// lockWaitTimeout reads the configured latch-wait bound.
+func (db *DB) lockWaitTimeout() time.Duration {
+	return time.Duration(db.lockWaitNanos.Load())
 }
 
 // EnablePlanCache toggles the parsed-statement cache (on by default). The
@@ -521,7 +561,7 @@ func (db *DB) execTxStmt(ctx context.Context, text string, cp *cachedPlan, param
 			// Bounded wait: this transaction may already hold other latches,
 			// and another transaction could be waiting on them — timing out
 			// with ErrWriteConflict breaks the cycle.
-			if err := db.latchTable(ctx, t, tx, latchWaitTimeout); err != nil {
+			if err := db.latchTable(ctx, t, tx, db.lockWaitTimeout()); err != nil {
 				return nil, err
 			}
 			if err := db.rlockBounded(); err != nil {
@@ -666,6 +706,14 @@ func (db *DB) commitTxn(t *txnState) (ckptDue bool, err error) {
 		return false, err
 	}
 	ts := db.clock.Load() + 1
+	if db.store != nil && len(t.pagedOps)+boolToInt(t.ddl) > 0 {
+		// Apply to the on-disk trees between WAL durability and visibility:
+		// the WAL already has the transaction, so a failure here poisons the
+		// store (rebuilt at the next checkpoint) without failing the commit.
+		db.store.muLock()
+		db.store.commitApply(db, t.ddl, t.pagedOps, ts)
+		db.store.muUnlock()
+	}
 	for _, m := range t.created {
 		m.begin.Store(ts)
 	}
@@ -675,6 +723,13 @@ func (db *DB) commitTxn(t *txnState) (ckptDue bool, err error) {
 	db.clock.Store(ts)
 	db.snaps.drop(t)
 	return db.walCheckpointDue(), nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // commitLocked commits the ambient transaction t if it is still open: WAL
@@ -1141,7 +1196,7 @@ func (db *DB) latchForWrite(cx *evalCtx, t *Table) error {
 // holding caller-side locks cannot wait forever on a lock holder that is
 // itself waiting on the caller.
 func (db *DB) rlockBounded() error {
-	deadline := time.Now().Add(latchWaitTimeout)
+	deadline := time.Now().Add(db.lockWaitTimeout())
 	for !db.mu.TryRLock() {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("%w: database is exclusively locked by another statement", ErrWriteConflict)
@@ -1152,7 +1207,7 @@ func (db *DB) rlockBounded() error {
 }
 
 func (db *DB) lockBounded() error {
-	deadline := time.Now().Add(latchWaitTimeout)
+	deadline := time.Now().Add(db.lockWaitTimeout())
 	for !db.mu.TryLock() {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("%w: database is locked by another statement", ErrWriteConflict)
@@ -1277,12 +1332,21 @@ func (db *DB) execDrop(cx *evalCtx, s *DropTableStmt) (*ResultSet, error) {
 // probe can never surface a position beyond its own view header.
 func (db *DB) insertVersion(cx *evalCtx, t *Table, row Row) error {
 	m := &rowMeta{}
+	if db.store != nil {
+		m.rowid = db.rowidSeq.Add(1)
+	}
 	if tx := cx.txn; tx != nil {
 		m.begin.Store(tx.stamp())
 		tx.created = append(tx.created, m)
+		if db.store != nil {
+			tx.pagedOps = append(tx.pagedOps, pagedOp{table: t.Name, rowid: m.rowid, row: row})
+		}
 	} else {
 		// Recovery replay rebuilds committed state directly.
 		m.begin.Store(1)
+		if db.store != nil {
+			db.replayOps = append(db.replayOps, pagedOp{table: t.Name, rowid: m.rowid, row: row})
+		}
 	}
 	pos := t.appendVersion(row, m)
 	return t.insertIntoIndexes(pos, row)
@@ -1298,6 +1362,9 @@ func (db *DB) endVersion(cx *evalCtx, t *Table, m *rowMeta) error {
 	tx := cx.txn
 	if tx == nil {
 		m.end.Store(1)
+		if db.store != nil {
+			db.replayOps = append(db.replayOps, pagedOp{table: t.Name, del: true, rowid: m.rowid})
+		}
 		return nil
 	}
 	self := tx.stamp()
@@ -1306,6 +1373,9 @@ func (db *DB) endVersion(cx *evalCtx, t *Table, m *rowMeta) error {
 	}
 	m.end.Store(self)
 	tx.ended = append(tx.ended, m)
+	if db.store != nil {
+		tx.pagedOps = append(tx.pagedOps, pagedOp{table: t.Name, del: true, rowid: m.rowid})
+	}
 	return nil
 }
 

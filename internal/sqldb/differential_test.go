@@ -16,7 +16,7 @@ import (
 // group state, and parallel probe scans for data races.
 func TestStreamingOperatorEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260728))
-	db := New()
+	db := newSuiteDB(t)
 	// Low parallel threshold so probe-side partitioned scans participate.
 	db.SetPlannerOptions(PlannerOptions{MaxScanWorkers: 4, ParallelMinRows: 400})
 	mustExec(t, db, `CREATE TABLE fact (id integer, k integer, f float, tag text)`)
@@ -159,7 +159,7 @@ func whereAnd(where, conj string) string {
 // against the forced executor.
 func TestStreamingOperatorEquivalenceSingleTable(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE s (a integer, b float, c text)`)
 	for i := 0; i < 500; i++ {
 		var a, b any

@@ -1,10 +1,13 @@
 // Package logictest is a sqllogictest-style differential harness for the
 // sqldb engine: declarative .slt files pair SQL with expected results, and
-// the runner executes every file twice — once against a fresh in-memory
-// database, and once against a durable database that is closed and reopened
-// through WAL recovery after the script completes, with every query replayed
-// against the recovered state. A divergence in either pass fails with the
-// offending file, line, and diff.
+// the runner executes every file through several passes — against a fresh
+// in-memory database; against a durable database that is closed and
+// reopened through WAL recovery after the script completes, with every
+// query replayed against the recovered state; and against a paged on-disk
+// database with a deliberately tiny page size and buffer pool, checkpointed
+// into its page image and then reopened, with the queries replayed against
+// the recovered image. A divergence in any pass fails with the offending
+// file, line, and diff.
 //
 // # File format
 //
@@ -180,8 +183,43 @@ func (r *Runner) RunFile(path string, tmpDir string) {
 		r.Fatalf("%s: reopening through recovery: %v", name, err)
 		return
 	}
-	defer rec.Close()
-	r.runRecords(name+" (recovered)", rec, recs, true)
+	func() {
+		defer rec.Close()
+		r.runRecords(name+" (recovered)", rec, recs, true)
+	}()
+
+	// Pass 3: paged on-disk store. A 512-byte page and an 8-page buffer pool
+	// force eviction, overflow chains, and disk read-back even on small
+	// scripts. The script's final state is checkpointed into the page image,
+	// the database reopened, and every query replayed against the recovered
+	// image (plus whatever WAL tail followed the checkpoint).
+	pdir := filepath.Join(tmpDir, strings.TrimSuffix(name, ".slt")+"-paged")
+	popts := sqldb.DurabilityOptions{Paged: true, PageSize: 512, PoolPages: 8}
+	pg := sqldb.New()
+	if err := pg.EnableDurability(pdir, popts); err != nil {
+		r.Fatalf("%s: enabling paged durability: %v", name, err)
+		return
+	}
+	r.runRecords(name+" (paged)", pg, recs, false)
+	if err := pg.Checkpoint(); err != nil {
+		r.Fatalf("%s: checkpointing paged db: %v", name, err)
+		return
+	}
+	if errs := pg.CheckStored(); len(errs) > 0 {
+		r.Fatalf("%s: paged store invariants violated: %v", name, errs)
+		return
+	}
+	if err := pg.Close(); err != nil {
+		r.Fatalf("%s: closing paged db: %v", name, err)
+		return
+	}
+	prec := sqldb.New()
+	if err := prec.EnableDurability(pdir, popts); err != nil {
+		r.Fatalf("%s: reopening paged image: %v", name, err)
+		return
+	}
+	defer prec.Close()
+	r.runRecords(name+" (paged recovered)", prec, recs, true)
 }
 
 // runRecords executes a script's records; queriesOnly replays only the query

@@ -52,6 +52,12 @@ const (
 type rowMeta struct {
 	begin atomic.Uint64
 	end   atomic.Uint64
+
+	// rowid is the version's stable on-disk identity in a paged database
+	// (heap B+tree key; see pagedstore.go). Assigned before the version is
+	// published and immutable afterwards, so no atomic access is needed.
+	// Zero in in-memory databases.
+	rowid uint64
 }
 
 // tableView is one published generation of a table's version arrays. The
@@ -320,7 +326,7 @@ func (st *snapTracker) oldest(def uint64) uint64 {
 // snapshot (aborted inserts, superseded updates, committed deletes) are
 // dropped and indexes rebuilt over the surviving versions. It runs under
 // the exclusive lock and automatically piggybacks on Checkpoint; long
-//-running databases can also call it directly.
+// -running databases can also call it directly.
 func (db *DB) Vacuum() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()

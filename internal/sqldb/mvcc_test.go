@@ -10,7 +10,7 @@ import (
 // TestMVCCNoDirtyReads: a reader (plain query or Tx) never observes another
 // transaction's uncommitted writes.
 func TestMVCCNoDirtyReads(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE t (a int)`)
 	mustExec(t, db, `INSERT INTO t VALUES (1)`)
 
@@ -60,7 +60,7 @@ func TestMVCCNoDirtyReads(t *testing.T) {
 // TestMVCCRepeatableReadInTx: a transaction keeps reading its Begin-time
 // snapshot while other sessions commit around it.
 func TestMVCCRepeatableReadInTx(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE t (a int)`)
 	mustExec(t, db, `INSERT INTO t VALUES (1), (2)`)
 
@@ -108,7 +108,7 @@ func TestMVCCRepeatableReadInTx(t *testing.T) {
 // same row — the second to touch it gets ErrWriteConflict (first-updater-
 // wins), not a silent lost update.
 func TestMVCCLostUpdateRejected(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE acct (id int, bal int)`)
 	mustExec(t, db, `INSERT INTO acct VALUES (1, 100)`)
 
@@ -144,7 +144,7 @@ func TestMVCCLostUpdateRejected(t *testing.T) {
 // TestMVCCWriteConflictWhileHolderInFlight: the same conflict surfaces when
 // the first updater is still in flight (bounded latch wait, not deadlock).
 func TestMVCCWriteConflictWhileHolderInFlight(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE t (a int)`)
 	mustExec(t, db, `INSERT INTO t VALUES (1)`)
 
@@ -179,7 +179,7 @@ func TestMVCCWriteConflictWhileHolderInFlight(t *testing.T) {
 // keeps serving the rows of its statement-time snapshot while another
 // session commits into the same table mid-iteration.
 func TestSnapshotOpenRowIterDuringConcurrentCommit(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE t (a int)`)
 	for i := 0; i < 100; i++ {
 		mustExec(t, db, `INSERT INTO t VALUES ($1)`, i)
@@ -214,7 +214,7 @@ func TestSnapshotOpenRowIterDuringConcurrentCommit(t *testing.T) {
 // inserts/updates leave index probes returning exactly the committed rows,
 // with concurrent readers running throughout.
 func TestMVCCRollbackKeepsIndexesConsistent(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE t (k int, v int)`)
 	mustExec(t, db, `CREATE INDEX t_k ON t (k)`)
 	for i := 0; i < 20; i++ {
@@ -279,7 +279,7 @@ func TestMVCCRollbackKeepsIndexesConsistent(t *testing.T) {
 // Vacuum drops every version invisible to the oldest active snapshot,
 // returning the table to ~1 version per live row.
 func TestMVCCVacuumReclaimsDeadVersions(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE t (id int, v int)`)
 	const rows = 10
 	for i := 0; i < rows; i++ {
@@ -317,7 +317,7 @@ func TestMVCCVacuumReclaimsDeadVersions(t *testing.T) {
 // TestMVCCVacuumRespectsOpenSnapshots: versions an open transaction can
 // still see survive Vacuum; they are reclaimed once the snapshot closes.
 func TestMVCCVacuumRespectsOpenSnapshots(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE t (a int)`)
 	mustExec(t, db, `INSERT INTO t VALUES (1)`)
 
@@ -362,7 +362,7 @@ func TestMVCCVacuumRespectsOpenSnapshots(t *testing.T) {
 // analytical readers join across the tables — the tentpole workload. Run
 // under -race in CI.
 func TestConcurrentWritersDisjointTables(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	const writers = 4
 	const rowsPer = 200
 	for w := 0; w < writers; w++ {
@@ -416,7 +416,7 @@ func TestConcurrentWritersDisjointTables(t *testing.T) {
 // disjoint tables proceed and commit concurrently — neither blocks the
 // other, both commit.
 func TestConcurrentTxDisjointTablesCommitInParallel(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	mustExec(t, db, `CREATE TABLE a (x int)`)
 	mustExec(t, db, `CREATE TABLE b (x int)`)
 

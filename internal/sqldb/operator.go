@@ -724,7 +724,9 @@ func (src *opSource) open(cx *evalCtx, tailCx *evalCtx, ordered *orderedScanInfo
 			// Parallel probes only exist under joins, where the pushed
 			// filter is a lenient prefilter: evaluation errors keep the
 			// row for the residual WHERE instead of failing the pool.
-			return newParallelScanStream(env, rows, lenientPred(src.pushedC), nil, info.columns, src.workers), info, nil
+			ps := newParallelScanStream(env, rows, lenientPred(src.pushedC), nil, info.columns, src.workers)
+			ps.align = pageAlignRows(cx.db, t.Name, len(rows))
+			return ps, info, nil
 		}
 		base = &sliceStream{cols: info.columns, rows: rows}
 	case item.Func != nil:

@@ -1,0 +1,1143 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// pagedStore is the on-disk storage engine of a paged database: one B+tree
+// per table heap (keyed by rowid), one per persisted btree index, and a
+// catalog tree of table records, all living in a single page file behind an
+// LRU buffer pool.
+//
+// Durability is shadow paging coordinated with the WAL:
+//
+//   - Trees address pages by logical id; a page table maps logical ids to
+//     physical slots. The first modification of a page in a checkpoint
+//     interval relocates it to a fresh slot (copy-on-write), so the slots
+//     the last durable meta references are never overwritten in place.
+//   - Commit applies the transaction's row changes to the trees in memory
+//     only (dirty buffer-pool frames), after the WAL write — the WAL is
+//     always ahead of the page image.
+//   - Checkpoint is an incremental dirty-page flush: sync the WAL, create
+//     the next WAL generation, write dirty pages + the new page table to
+//     their (shadow) slots, fsync, then write and fsync the meta page that
+//     names the new WAL generation. The meta write is the atomic flip; a
+//     crash at any earlier point recovers from the previous meta and the
+//     previous WAL generation.
+//   - Recovery loads the last valid meta's image and replays the committed
+//     transactions of the WAL generation it names on top.
+//
+// Physical slots freed from the durable image (COW pre-images, freed pages)
+// park in pendFree until the next flip makes the image that referenced them
+// obsolete; only then do they re-enter the allocatable free list. Free
+// lists are derived, not persisted: open rebuilds them from the page table.
+//
+// The store holds the latest committed version of every row (superseded
+// versions stay in-memory-only and vacuumable); MVCC begin stamps ride in
+// the stored tuple headers (tuple.go). The SQL executor continues to serve
+// reads from the in-memory version arrays — the paged layer bounds
+// checkpoint and recovery I/O by the delta since the last checkpoint
+// instead of the whole database, and is scanned directly via ScanStored.
+type pagedStore struct {
+	// mu serializes all tree and pool access: commit applies run under the
+	// database's commit mutex while ScanStored readers run under the shared
+	// DB lock, so the store needs its own short-hold lock.
+	mu sync.Mutex
+
+	pg       *pager
+	pool     *bufferPool
+	pageSize int
+
+	// Durable-image bookkeeping (as of the last meta flip).
+	seq       uint64
+	walGen    int
+	ptabSlots []uint32
+	// hasImage records that a valid meta was loaded at open; metaNextRowid
+	// is that meta's rowid high-water mark.
+	hasImage      bool
+	metaNextRowid uint64
+
+	// Logical→physical page table; index 0 unused, ids are 1-based.
+	ptab     []uint32
+	physHigh uint32
+	freeLog  []uint32
+	freePhys []uint32
+	pendFree []uint32
+	shadowed map[uint32]bool
+
+	catalog *btree
+	trees   map[string]*btree // "h:<table>" heaps, "x:<index>" btree indexes
+	// known maps table name to the *Table the trees were built for; a
+	// different pointer under the same name means drop+recreate.
+	known map[string]*Table
+	// tableIdx lists the persisted index names per table.
+	tableIdx map[string]map[string]bool
+
+	// failed poisons the store after a mid-apply error: the trees may be
+	// inconsistent with the committed state, so applies stop and the next
+	// checkpoint rebuilds the store wholesale from the in-memory image.
+	// Committed data stays safe throughout — the WAL has it.
+	failed   bool
+	failErr  error
+	ixOvers  uint64 // index entries skipped for oversized keys
+	applyTxs uint64
+}
+
+const pageFileName = "pages.db"
+
+// pagedOp is one buffered row change to apply to the store at commit.
+type pagedOp struct {
+	table string
+	del   bool
+	rowid uint64
+	row   Row
+}
+
+// storedTable is the catalog record of one table (JSON in the catalog tree
+// under key "t:<name>").
+type storedTable struct {
+	Name      string        `json:"name"`
+	Columns   []Column      `json:"columns"`
+	HeapRoot  uint32        `json:"heap_root"`
+	HeapPages int           `json:"heap_pages"`
+	Indexes   []storedIndex `json:"indexes,omitempty"`
+}
+
+type storedIndex struct {
+	Name   string `json:"name"`
+	Column string `json:"column"`
+	Kind   string `json:"kind"`
+	Root   uint32 `json:"root,omitempty"`
+	Pages  int    `json:"pages,omitempty"`
+}
+
+// openPagedStore opens (or creates) the page file in dir. A valid meta page
+// defines the image; a fresh or meta-less file starts empty at WAL
+// generation 0. No WAL replay happens here — EnableDurability drives that.
+func openPagedStore(dir string, pageSize, poolPages int) (*pagedStore, error) {
+	path := filepath.Join(dir, pageFileName)
+	if pageSize == 0 {
+		pageSize = defaultPageSize
+	}
+	// Learn the file's true page size from its meta pages before committing
+	// to the configured one.
+	if f, err := os.Open(path); err == nil {
+		m0, ok0 := probeMetaAt(f, 0)
+		if ok0 && m0.pageSize >= minPageSize {
+			pageSize = m0.pageSize
+		} else if m1, ok1 := probeMetaAt(f, int64(pageSize)); ok1 && m1.pageSize >= minPageSize {
+			pageSize = m1.pageSize
+		}
+		f.Close()
+	}
+	pg, err := openPager(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &pagedStore{
+		pg:       pg,
+		pageSize: pg.pageSize,
+		physHigh: 2, // slots 0 and 1 are the meta pages
+		ptab:     []uint32{0},
+		shadowed: make(map[uint32]bool),
+		trees:    make(map[string]*btree),
+		known:    make(map[string]*Table),
+		tableIdx: make(map[string]map[string]bool),
+	}
+	if poolPages == 0 {
+		poolPages = defaultPoolPages
+	}
+	s.pool = newBufferPool(poolPages, s.readLogical)
+
+	meta, ok := pg.loadMeta()
+	if !ok {
+		// No valid meta. For a database whose first checkpoint never
+		// completed this is a legitimate crash state: the WAL was never
+		// rotated past generation 0, so full replay rebuilds everything and
+		// the store starts fresh. But if a rotated WAL exists, a checkpoint
+		// once committed a meta page that is now unreadable — refuse rather
+		// than silently replay a partial tail over an empty image.
+		if fi, err := pg.f.Stat(); err == nil && fi.Size() >= int64(pg.pageSize) && hasRotatedWAL(dir) {
+			pg.close()
+			return nil, fmt.Errorf("sql: page file %s has no valid meta page (corrupt?)", path)
+		}
+		// Fresh store: the catalog tree is created on first use.
+		return s, nil
+	}
+	if meta.pageSize != pg.pageSize {
+		pg.close()
+		return nil, fmt.Errorf("sql: page file %s page size %d does not match meta %d", path, pg.pageSize, meta.pageSize)
+	}
+	if err := s.loadImage(meta); err != nil {
+		pg.close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// hasRotatedWAL reports whether dir holds a WAL of generation >= 1 — proof
+// that a checkpoint once completed (rotation happens only on success).
+func hasRotatedWAL(dir string) bool {
+	matches, err := filepath.Glob(filepath.Join(dir, walFilePattern))
+	if err != nil {
+		return false
+	}
+	gen0 := walGenPath(dir, 0)
+	for _, m := range matches {
+		if m != gen0 {
+			return true
+		}
+	}
+	return false
+}
+
+// loadImage restores the page table and derived free lists from a meta page.
+func (s *pagedStore) loadImage(meta *pagerMeta) error {
+	s.hasImage = true
+	s.metaNextRowid = meta.nextRowid
+	s.seq = meta.seq
+	s.walGen = meta.walGen
+	s.physHigh = meta.physHigh
+	s.ptabSlots = meta.ptabSlots
+
+	per := s.usableBytes() / 4
+	s.ptab = make([]uint32, meta.nLogical+1)
+	next := 1
+	for _, slot := range meta.ptabSlots {
+		data, err := s.pg.readSlot(slot)
+		if err != nil {
+			return fmt.Errorf("sql: reading page table: %w", err)
+		}
+		if data[4] != pagePtab {
+			return fmt.Errorf("sql: page-table slot %d has type %d", slot, data[4])
+		}
+		n := int(binary.LittleEndian.Uint32(data[12:16]))
+		if n > per {
+			return fmt.Errorf("sql: page-table page claims %d entries (max %d)", n, per)
+		}
+		for i := 0; i < n && next <= int(meta.nLogical); i++ {
+			s.ptab[next] = binary.LittleEndian.Uint32(data[pageHeaderSize+4*i:])
+			next++
+		}
+	}
+	if next != int(meta.nLogical)+1 {
+		return fmt.Errorf("sql: page table holds %d of %d logical ids", next-1, meta.nLogical)
+	}
+
+	// Derive the free lists: logical ids without a slot are free; physical
+	// slots referenced by neither the page table, the page-table pages, nor
+	// the meta pages are free.
+	used := make(map[uint32]bool, len(s.ptab)+len(meta.ptabSlots))
+	for l := 1; l < len(s.ptab); l++ {
+		if s.ptab[l] == 0 {
+			s.freeLog = append(s.freeLog, uint32(l))
+		} else {
+			used[s.ptab[l]] = true
+		}
+	}
+	for _, slot := range meta.ptabSlots {
+		used[slot] = true
+	}
+	for slot := uint32(2); slot < s.physHigh; slot++ {
+		if !used[slot] {
+			s.freePhys = append(s.freePhys, slot)
+		}
+	}
+
+	if meta.catalogRoot != 0 {
+		s.catalog = &btree{st: s, root: meta.catalogRoot, npages: int(meta.catPages)}
+	}
+	return nil
+}
+
+// --- page-level plumbing used by btree.go ---
+
+// readLogical is the buffer pool's miss handler.
+func (s *pagedStore) readLogical(l uint32) ([]byte, error) {
+	if int(l) >= len(s.ptab) || s.ptab[l] == 0 {
+		return nil, fmt.Errorf("sql: logical page %d is not mapped", l)
+	}
+	return s.pg.readSlot(s.ptab[l])
+}
+
+// page returns the pinned frame of a logical page.
+func (s *pagedStore) page(l uint32) (*frame, error) {
+	return s.pool.get(l)
+}
+
+func (s *pagedStore) allocPhys() uint32 {
+	if n := len(s.freePhys); n > 0 {
+		slot := s.freePhys[n-1]
+		s.freePhys = s.freePhys[:n-1]
+		return slot
+	}
+	slot := s.physHigh
+	s.physHigh++
+	return slot
+}
+
+// allocPage allocates a logical page bound to a fresh physical slot,
+// returning its pinned (dirty) frame.
+func (s *pagedStore) allocPage() (*frame, uint32, error) {
+	var l uint32
+	if n := len(s.freeLog); n > 0 {
+		l = s.freeLog[n-1]
+		s.freeLog = s.freeLog[:n-1]
+	} else {
+		l = uint32(len(s.ptab))
+		s.ptab = append(s.ptab, 0)
+	}
+	s.ptab[l] = s.allocPhys()
+	s.shadowed[l] = true
+	f := s.pool.install(l, make([]byte, s.pageSize))
+	return f, l, nil
+}
+
+// touch implements copy-on-write: the first modification of a page per
+// checkpoint interval relocates it to a fresh physical slot, parking the
+// old slot (still referenced by the durable meta) in pendFree.
+func (s *pagedStore) touch(f *frame) error {
+	l := f.logical
+	if s.shadowed[l] {
+		f.dirty = true
+		return nil
+	}
+	old := s.ptab[l]
+	s.ptab[l] = s.allocPhys()
+	s.pendFree = append(s.pendFree, old)
+	s.shadowed[l] = true
+	f.dirty = true
+	return nil
+}
+
+// freePage unmaps a logical page. Its physical slot re-enters circulation
+// immediately if it was already shadowed (the durable image never saw it),
+// else after the next flip.
+func (s *pagedStore) freePage(l uint32) {
+	slot := s.ptab[l]
+	if slot != 0 {
+		if s.shadowed[l] {
+			s.freePhys = append(s.freePhys, slot)
+			delete(s.shadowed, l)
+		} else {
+			s.pendFree = append(s.pendFree, slot)
+		}
+	}
+	s.ptab[l] = 0
+	s.freeLog = append(s.freeLog, l)
+	s.pool.drop(l)
+}
+
+func (s *pagedStore) ensureCatalog() error {
+	if s.catalog != nil {
+		return nil
+	}
+	c, err := createBtree(s)
+	if err != nil {
+		return err
+	}
+	s.catalog = c
+	return nil
+}
+
+func (s *pagedStore) poison(err error) {
+	if !s.failed {
+		s.failed = true
+		s.failErr = err
+	}
+}
+
+func (s *pagedStore) closed() bool { return s.pg == nil || s.pg.closed }
+
+func (s *pagedStore) muLock()   { s.mu.Lock() }
+func (s *pagedStore) muUnlock() { s.mu.Unlock() }
+
+// --- catalog reconciliation ---
+
+// heapTree returns a table's heap tree by (lowercase) name.
+func (s *pagedStore) heapTree(name string) *btree { return s.trees["h:"+name] }
+
+// reconcile diffs the database catalog against the store's trees: new or
+// recreated tables get fresh heaps, dropped tables free theirs, and
+// persisted btree-index trees follow the index set. Runs at commit for DDL
+// transactions and per replayed WAL transaction that moved the catalog
+// epoch. Caller holds the store.
+func (s *pagedStore) reconcile(db *DB) error {
+	if err := s.ensureCatalog(); err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	for _, name := range db.tables.names() {
+		t, ok := db.tables.get(name)
+		if !ok {
+			continue
+		}
+		ln := strings.ToLower(name)
+		seen[ln] = true
+		if s.known[ln] != t {
+			// New table, or dropped and recreated under the same name (a
+			// different *Table): any existing trees describe the old
+			// incarnation.
+			s.dropTableTrees(ln)
+			heap, err := createBtree(s)
+			if err != nil {
+				return err
+			}
+			s.trees["h:"+ln] = heap
+			s.known[ln] = t
+			s.tableIdx[ln] = make(map[string]bool)
+		}
+		if err := s.reconcileIndexes(ln, t); err != nil {
+			return err
+		}
+	}
+	for ln := range s.known {
+		if !seen[ln] {
+			s.dropTableTrees(ln)
+		}
+	}
+	return nil
+}
+
+// reconcileIndexes aligns the persisted index trees of one table with its
+// current btree-kind index set.
+func (s *pagedStore) reconcileIndexes(ln string, t *Table) error {
+	want := make(map[string]*index)
+	for _, ix := range t.indexes {
+		if ix.kind == IndexOrdered {
+			want[ix.name] = ix
+		}
+	}
+	have := s.tableIdx[ln]
+	if have == nil {
+		have = make(map[string]bool)
+		s.tableIdx[ln] = have
+	}
+	for name := range have {
+		if _, ok := want[name]; !ok {
+			if tr := s.trees["x:"+name]; tr != nil {
+				if err := tr.freeAll(); err != nil {
+					return err
+				}
+				delete(s.trees, "x:"+name)
+			}
+			delete(have, name)
+		}
+	}
+	for name, ix := range want {
+		if have[name] {
+			continue
+		}
+		tr, err := createBtree(s)
+		if err != nil {
+			return err
+		}
+		s.trees["x:"+name] = tr
+		have[name] = true
+		// Bulk-build from the heap: the entries for rows committed in the
+		// same transaction arrive through the op batch that follows.
+		heap := s.heapTree(ln)
+		if heap == nil {
+			continue
+		}
+		type kv struct{ k []byte }
+		var keys []kv
+		err = heap.scan(nil, func(k, v []byte) bool {
+			_, _, row, derr := decodeTuple(v)
+			if derr != nil {
+				err = derr
+				return false
+			}
+			if ik, ok := encodeIndexKey(row[ix.col], decodeRowidKey(k)); ok && len(ik) <= s.maxKeyLen() {
+				keys = append(keys, kv{k: ik})
+			} else {
+				s.ixOvers++
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		for _, e := range keys {
+			if perr := tr.put(e.k, nil); perr != nil {
+				return perr
+			}
+		}
+	}
+	return nil
+}
+
+// dropTableTrees frees a table's heap and persisted index trees.
+func (s *pagedStore) dropTableTrees(ln string) {
+	if heap := s.trees["h:"+ln]; heap != nil {
+		heap.freeAll()
+		delete(s.trees, "h:"+ln)
+	}
+	for name := range s.tableIdx[ln] {
+		if tr := s.trees["x:"+name]; tr != nil {
+			tr.freeAll()
+			delete(s.trees, "x:"+name)
+		}
+	}
+	delete(s.tableIdx, ln)
+	delete(s.known, ln)
+}
+
+// --- commit apply ---
+
+// commitApply lands one committed transaction's row changes in the trees
+// (in memory; dirty frames flush at the next checkpoint). Runs under
+// commitMu between the WAL write and the stamp flips. A failure poisons
+// the store rather than failing the WAL-durable commit: the next
+// checkpoint rebuilds from the in-memory image, and a crash before that
+// recovers from the previous image plus the WAL.
+func (s *pagedStore) commitApply(db *DB, ddl bool, ops []pagedOp, ts uint64) {
+	if s.closed() || s.failed {
+		return
+	}
+	if ddl {
+		if err := s.reconcile(db); err != nil {
+			s.poison(err)
+			return
+		}
+	}
+	if err := s.applyOps(db, ops, ts); err != nil {
+		s.poison(err)
+	}
+	s.applyTxs++
+}
+
+// replayCommit lands one replayed WAL transaction's buffered row changes
+// (db.replayOps) during recovery, reconciling the catalog first when the
+// transaction changed it — the same reconcile-then-apply order as the live
+// commit path, so DROP+CREATE+INSERT within one transaction replays
+// correctly. Recovery errors are returned (not poisoned): a store that
+// cannot replay its own WAL should fail the open.
+func (s *pagedStore) replayCommit(db *DB, ddl bool) error {
+	ops := db.replayOps
+	db.replayOps = db.replayOps[:0]
+	if s.closed() {
+		return fmt.Errorf("sql: paged store is closed")
+	}
+	if ddl {
+		if err := s.reconcile(db); err != nil {
+			return err
+		}
+	}
+	return s.applyOps(db, ops, 1)
+}
+
+func (s *pagedStore) applyOps(db *DB, ops []pagedOp, ts uint64) error {
+	for _, op := range ops {
+		ln := strings.ToLower(op.table)
+		heap := s.heapTree(ln)
+		if heap == nil {
+			// The table vanished later in the same transaction (drop after
+			// write): its rows went with its trees.
+			continue
+		}
+		t := s.known[ln]
+		key := rowidKey(op.rowid)
+		if op.del {
+			val, found, err := heap.get(key)
+			if err != nil {
+				return err
+			}
+			if !found {
+				continue
+			}
+			_, _, oldRow, err := decodeTuple(val)
+			if err != nil {
+				return err
+			}
+			if _, err := heap.delete(key); err != nil {
+				return err
+			}
+			if err := s.applyIndexOps(t, ln, oldRow, op.rowid, true); err != nil {
+				return err
+			}
+		} else {
+			if err := heap.put(key, encodeTuple(ts, 0, op.row)); err != nil {
+				return err
+			}
+			if err := s.applyIndexOps(t, ln, op.row, op.rowid, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *pagedStore) applyIndexOps(t *Table, ln string, row Row, rowid uint64, del bool) error {
+	if t == nil {
+		return nil
+	}
+	for _, ix := range t.indexes {
+		if ix.kind != IndexOrdered || !s.tableIdx[ln][ix.name] {
+			continue
+		}
+		tr := s.trees["x:"+ix.name]
+		if tr == nil || ix.col >= len(row) {
+			continue
+		}
+		ik, ok := encodeIndexKey(row[ix.col], rowid)
+		if !ok || len(ik) > s.maxKeyLen() {
+			s.ixOvers++
+			continue
+		}
+		var err error
+		if del {
+			_, err = tr.delete(ik)
+		} else {
+			err = tr.put(ik, nil)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- load and import ---
+
+// loadTables materializes the stored image into the database: table
+// schemas, rows (into fresh in-memory version arrays, begin stamp 1), and
+// index definitions. Called with db's exclusive lock held, before WAL
+// replay.
+func (s *pagedStore) loadTables(db *DB) error {
+	if s.catalog == nil {
+		return nil
+	}
+	type entry struct {
+		key string
+		rec storedTable
+	}
+	var entries []entry
+	var scanErr error
+	err := s.catalog.scan([]byte("t:"), func(k, v []byte) bool {
+		if !strings.HasPrefix(string(k), "t:") {
+			return false
+		}
+		var rec storedTable
+		if jerr := json.Unmarshal(v, &rec); jerr != nil {
+			scanErr = fmt.Errorf("sql: parsing catalog record %q: %w", k, jerr)
+			return false
+		}
+		entries = append(entries, entry{key: string(k), rec: rec})
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return err
+	}
+
+	var maxRowid uint64
+	for _, e := range entries {
+		rec := e.rec
+		ln := strings.ToLower(rec.Name)
+		t := &Table{Name: rec.Name, Columns: rec.Columns}
+		if _, err := db.tables.create(t, false); err != nil {
+			return err
+		}
+		heap := &btree{st: s, root: rec.HeapRoot, npages: rec.HeapPages}
+		s.trees["h:"+ln] = heap
+		s.known[ln] = t
+		s.tableIdx[ln] = make(map[string]bool)
+
+		var loadErr error
+		err := heap.scan(nil, func(k, v []byte) bool {
+			rowid := decodeRowidKey(k)
+			_, _, row, derr := decodeTuple(v)
+			if derr != nil {
+				loadErr = derr
+				return false
+			}
+			m := &rowMeta{rowid: rowid}
+			m.begin.Store(1)
+			t.appendVersion(row, m)
+			if rowid > maxRowid {
+				maxRowid = rowid
+			}
+			return true
+		})
+		if err == nil {
+			err = loadErr
+		}
+		if err != nil {
+			return fmt.Errorf("sql: loading table %q: %w", rec.Name, err)
+		}
+
+		for _, six := range rec.Indexes {
+			if six.Root != 0 {
+				s.trees["x:"+strings.ToLower(six.Name)] = &btree{st: s, root: six.Root, npages: six.Pages}
+				s.tableIdx[ln][strings.ToLower(six.Name)] = true
+			}
+			if _, err := db.tables.createIndex(IndexInfo{
+				Name: six.Name, Table: rec.Name, Column: six.Column, Kind: six.Kind,
+			}, true); err != nil {
+				return fmt.Errorf("sql: rebuilding index %q: %w", six.Name, err)
+			}
+		}
+	}
+	if s.metaNextRowid > maxRowid {
+		maxRowid = s.metaNextRowid
+	}
+	if cur := db.rowidSeq.Load(); maxRowid > cur {
+		db.rowidSeq.Store(maxRowid)
+	}
+	return nil
+}
+
+// importFromMemory rebuilds the store's entire tree set from the committed
+// in-memory state: used when durability is enabled on a database that
+// already holds tables, and by the checkpoint-time recovery of a poisoned
+// store. Existing pages are freed through the normal shadow discipline, so
+// the previous durable image stays intact until the next flip.
+func (s *pagedStore) importFromMemory(db *DB) error {
+	for l := 1; l < len(s.ptab); l++ {
+		if s.ptab[l] != 0 {
+			s.freePage(uint32(l))
+		}
+	}
+	s.trees = make(map[string]*btree)
+	s.known = make(map[string]*Table)
+	s.tableIdx = make(map[string]map[string]bool)
+	s.catalog = nil
+	if err := s.ensureCatalog(); err != nil {
+		return err
+	}
+
+	snap := snapshot{ts: db.clock.Load()}
+	for _, name := range db.tables.names() {
+		t, ok := db.tables.get(name)
+		if !ok {
+			continue
+		}
+		ln := strings.ToLower(name)
+		heap, err := createBtree(s)
+		if err != nil {
+			return err
+		}
+		s.trees["h:"+ln] = heap
+		s.known[ln] = t
+		s.tableIdx[ln] = make(map[string]bool)
+
+		v := t.loadView()
+		for i, m := range v.meta {
+			if !snap.visible(m) {
+				continue
+			}
+			if m.rowid == 0 {
+				m.rowid = db.rowidSeq.Add(1)
+			}
+			begin := m.begin.Load()
+			if begin&txnBit != 0 {
+				begin = 1
+			}
+			if err := heap.put(rowidKey(m.rowid), encodeTuple(begin, 0, v.rows[i])); err != nil {
+				return err
+			}
+		}
+		if err := s.reconcileIndexes(ln, t); err != nil {
+			return err
+		}
+	}
+	s.failed = false
+	s.failErr = nil
+	return nil
+}
+
+// --- checkpoint ---
+
+// checkpoint flushes the delta since the last flip and commits it: catalog
+// records refresh, dirty pages and the new page table land in shadow
+// slots, everything syncs, and the meta write flips the durable image to
+// the new WAL generation. On error the previous image is untouched and the
+// caller keeps the previous WAL generation live.
+func (s *pagedStore) checkpoint(db *DB, newGen int, nextRowid uint64) error {
+	if s.closed() {
+		return fmt.Errorf("sql: paged store is closed")
+	}
+	if s.failed {
+		// A poisoned store's trees are untrustworthy; rebuild them from the
+		// committed in-memory image before flushing (self-healing, like a
+		// poisoned WAL rotating itself clean).
+		if err := s.importFromMemory(db); err != nil {
+			return fmt.Errorf("sql: rebuilding poisoned store: %w", err)
+		}
+	}
+	if err := s.ensureCatalog(); err != nil {
+		return err
+	}
+	if err := s.refreshCatalogRecords(); err != nil {
+		return err
+	}
+
+	// WAL-before-data: the caller synced the WAL already; every page written
+	// below carries only effects of WAL-durable commits.
+	if err := s.pool.flushDirty(func(l uint32, data []byte) error {
+		return s.pg.writeSlot(s.ptab[l], data, faultPageWrite)
+	}); err != nil {
+		return err
+	}
+
+	ptabSlots, err := s.writePageTable()
+	if err != nil {
+		s.freePhys = append(s.freePhys, ptabSlots...)
+		return err
+	}
+	if err := s.pg.sync(faultDataSync); err != nil {
+		s.freePhys = append(s.freePhys, ptabSlots...)
+		return err
+	}
+
+	meta := &pagerMeta{
+		seq:         s.seq + 1,
+		pageSize:    s.pageSize,
+		physHigh:    s.physHigh,
+		nLogical:    uint32(len(s.ptab) - 1),
+		catalogRoot: s.catalog.root,
+		catPages:    uint32(s.catalog.npages),
+		walGen:      newGen,
+		nextRowid:   nextRowid,
+		ptabSlots:   ptabSlots,
+	}
+	if err := s.pg.writeMeta(meta); err != nil {
+		s.freePhys = append(s.freePhys, ptabSlots...)
+		// The meta write is the commit point, and a failure here is
+		// ambiguous: the image may or may not have become durable (a torn
+		// write can still land the whole header; a failed fsync may still
+		// have hit the platter). The caller is about to discard the new WAL
+		// generation and keep committing to the old one — which a landed
+		// meta would never replay. Scrub the maybe-landed meta so the old
+		// image unambiguously governs; if even that fails, poison the store
+		// so no further commits widen the window.
+		if nerr := s.pg.neutralizeMeta(meta.seq); nerr != nil {
+			s.poison(fmt.Errorf("sql: scrubbing half-committed meta: %w", nerr))
+		}
+		return err
+	}
+
+	// The flip is durable: slots the previous image referenced are fair
+	// game from here on.
+	s.seq++
+	s.walGen = newGen
+	s.freePhys = append(s.freePhys, s.pendFree...)
+	s.pendFree = nil
+	s.freePhys = append(s.freePhys, s.ptabSlots...)
+	s.ptabSlots = ptabSlots
+	s.shadowed = make(map[uint32]bool)
+	return nil
+}
+
+// refreshCatalogRecords rewrites every table's catalog record with its
+// current tree roots and drops records of tables that no longer exist.
+func (s *pagedStore) refreshCatalogRecords() error {
+	var stale [][]byte
+	err := s.catalog.scan([]byte("t:"), func(k, v []byte) bool {
+		name := strings.TrimPrefix(string(k), "t:")
+		if !strings.HasPrefix(string(k), "t:") {
+			return false
+		}
+		if _, ok := s.known[name]; !ok {
+			stale = append(stale, append([]byte(nil), k...))
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range stale {
+		if _, err := s.catalog.delete(k); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(s.known))
+	for ln := range s.known {
+		names = append(names, ln)
+	}
+	sort.Strings(names)
+	for _, ln := range names {
+		t := s.known[ln]
+		heap := s.heapTree(ln)
+		if heap == nil {
+			continue
+		}
+		rec := storedTable{Name: t.Name, Columns: t.Columns, HeapRoot: heap.root, HeapPages: heap.npages}
+		for _, ix := range t.indexes {
+			six := storedIndex{Name: ix.name, Column: ix.column, Kind: ix.kind}
+			if tr := s.trees["x:"+ix.name]; tr != nil && s.tableIdx[ln][ix.name] {
+				six.Root = tr.root
+				six.Pages = tr.npages
+			}
+			rec.Indexes = append(rec.Indexes, six)
+		}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if err := s.catalog.put([]byte("t:"+ln), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePageTable serializes the logical→physical map into freshly
+// allocated slots (never the ones the durable meta references).
+func (s *pagedStore) writePageTable() ([]uint32, error) {
+	per := s.usableBytes() / 4
+	nL := len(s.ptab) - 1
+	n := (nL + per - 1) / per
+	slots := make([]uint32, n)
+	for i := range slots {
+		slots[i] = s.allocPhys()
+	}
+	for j := 0; j < n; j++ {
+		data := make([]byte, s.pageSize)
+		data[4] = pagePtab
+		cnt := 0
+		for i := 0; i < per; i++ {
+			l := 1 + j*per + i
+			if l > nL {
+				break
+			}
+			binary.LittleEndian.PutUint32(data[pageHeaderSize+4*i:], s.ptab[l])
+			cnt++
+		}
+		binary.LittleEndian.PutUint32(data[12:16], uint32(cnt))
+		if err := s.pg.writeSlot(slots[j], data, faultPtabWrite); err != nil {
+			return slots, err
+		}
+	}
+	return slots, nil
+}
+
+// simulateCrash mirrors DB.SimulateCrash for the page file: unsynced
+// writes roll back to their pre-images and the descriptor closes.
+func (s *pagedStore) simulateCrash() {
+	if s.pg != nil {
+		s.pg.simulateCrash()
+	}
+}
+
+func (s *pagedStore) close() error {
+	if s.pg == nil {
+		return nil
+	}
+	return s.pg.close()
+}
+
+// --- introspection, invariants, and test hooks ---
+
+// Paged reports whether this database runs on the on-disk storage engine.
+func (db *DB) Paged() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store != nil
+}
+
+// ScanStored walks a table's heap B+tree in rowid order through the buffer
+// pool, yielding each stored (committed) row. It reads pages from disk as
+// needed — this is the path that serves larger-than-memory tables — and
+// stops early when fn returns false.
+func (db *DB) ScanStored(table string, fn func(rowid uint64, row Row) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.store == nil {
+		return fmt.Errorf("sql: database has no paged store")
+	}
+	db.store.muLock()
+	defer db.store.muUnlock()
+	heap := db.store.heapTree(strings.ToLower(table))
+	if heap == nil {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	var derr error
+	err := heap.scan(nil, func(k, v []byte) bool {
+		_, _, row, e := decodeTuple(v)
+		if e != nil {
+			derr = e
+			return false
+		}
+		return fn(decodeRowidKey(k), row)
+	})
+	if err == nil {
+		err = derr
+	}
+	return err
+}
+
+// StoredPoolStats snapshots the buffer pool's counters; ok=false when the
+// database is not paged.
+func (db *DB) StoredPoolStats() (PoolStats, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.store == nil {
+		return PoolStats{}, false
+	}
+	db.store.muLock()
+	defer db.store.muUnlock()
+	return db.store.pool.stats(), true
+}
+
+// StoredTablePages reports how many pages a table's heap tree owns (0 when
+// not paged or unknown) — the quantity the planner's I/O cost term uses.
+func (db *DB) StoredTablePages(table string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.storedTablePages(table)
+}
+
+// storedTablePages is the lock-free variant for planner callers that
+// already hold db.mu in either mode.
+func (db *DB) storedTablePages(table string) int {
+	if db.store == nil {
+		return 0
+	}
+	db.store.muLock()
+	defer db.store.muUnlock()
+	if heap := db.store.heapTree(strings.ToLower(table)); heap != nil {
+		return heap.npages
+	}
+	return 0
+}
+
+// CheckStored runs the storage engine's structural invariants — per-tree
+// B+tree checks plus the cross-tree page accounting (no page reachable
+// twice, no reachable page in a free list, physical slots consistent) —
+// and returns the violations found. Empty means healthy.
+func (db *DB) CheckStored() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.store == nil {
+		return []string{"database has no paged store"}
+	}
+	db.store.muLock()
+	defer db.store.muUnlock()
+	return db.store.checkAll()
+}
+
+func (s *pagedStore) checkAll() []string {
+	var errs []string
+	errf := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+	if s.closed() {
+		return []string{"store is closed"}
+	}
+	all := make(map[uint32]string) // logical page -> owning tree
+	checkTree := func(name string, bt *btree) {
+		reach := bt.check(func(format string, args ...any) {
+			errf("%s: "+format, append([]any{name}, args...)...)
+		})
+		for l := range reach {
+			if owner, dup := all[l]; dup {
+				errf("page %d owned by both %s and %s", l, owner, name)
+			}
+			all[l] = name
+		}
+	}
+	if s.catalog != nil {
+		checkTree("catalog", s.catalog)
+	}
+	treeNames := make([]string, 0, len(s.trees))
+	for name := range s.trees {
+		treeNames = append(treeNames, name)
+	}
+	sort.Strings(treeNames)
+	for _, name := range treeNames {
+		checkTree(name, s.trees[name])
+	}
+
+	for _, l := range s.freeLog {
+		if owner, ok := all[l]; ok {
+			errf("free logical page %d is reachable from %s", l, owner)
+		}
+		if int(l) < len(s.ptab) && s.ptab[l] != 0 {
+			errf("free logical page %d still mapped to slot %d", l, s.ptab[l])
+		}
+	}
+	for l := range all {
+		if int(l) >= len(s.ptab) || s.ptab[l] == 0 {
+			errf("reachable page %d has no physical slot", l)
+		}
+	}
+	slotOwner := make(map[uint32]uint32)
+	for l := 1; l < len(s.ptab); l++ {
+		slot := s.ptab[l]
+		if slot == 0 {
+			continue
+		}
+		if prev, dup := slotOwner[slot]; dup {
+			errf("physical slot %d mapped by logical %d and %d", slot, prev, l)
+		}
+		slotOwner[slot] = uint32(l)
+		if slot >= s.physHigh {
+			errf("logical %d maps past the physical high water (%d >= %d)", l, slot, s.physHigh)
+		}
+	}
+	freeSeen := make(map[uint32]bool)
+	for _, lists := range [][]uint32{s.freePhys, s.pendFree} {
+		for _, slot := range lists {
+			if freeSeen[slot] {
+				errf("physical slot %d freed twice", slot)
+			}
+			freeSeen[slot] = true
+			if l, used := slotOwner[slot]; used {
+				errf("free physical slot %d still mapped by logical %d", slot, l)
+			}
+		}
+	}
+	return errs
+}
+
+// ArmStorageFault arms a fault-injection point on the pager's write/fsync
+// path (see pager.go for sites and modes); false when the database is not
+// paged. Test hook.
+func (db *DB) ArmStorageFault(site string, countdown int, mode string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.store == nil || db.store.closed() {
+		return false
+	}
+	db.store.muLock()
+	defer db.store.muUnlock()
+	db.store.pg.armFault(site, countdown, mode)
+	return true
+}
+
+// TrackUnsyncedWrites toggles pre-image journaling of unsynced page
+// writes, letting SimulateCrash model a kernel that lost them. Test hook.
+func (db *DB) TrackUnsyncedWrites(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.store == nil || db.store.closed() {
+		return
+	}
+	db.store.muLock()
+	defer db.store.muUnlock()
+	db.store.pg.trackUnsynced = on
+}
+
+// StorageDiag summarizes the store's health for tests: poisoned state and
+// the count of index entries skipped for oversized keys.
+func (db *DB) StorageDiag() (failed bool, failErr error, oversizedIndexKeys uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.store == nil {
+		return false, nil, 0
+	}
+	db.store.muLock()
+	defer db.store.muUnlock()
+	return db.store.failed, db.store.failErr, db.store.ixOvers
+}

@@ -1,0 +1,403 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The pager owns the page file of a paged database: fixed-size pages
+// addressed by physical slot number, each carrying a checksummed header.
+// Everything above it (pagedstore.go) works in logical page ids that a page
+// table maps to physical slots; the pager itself knows nothing about that
+// indirection except for the two meta pages that anchor it.
+//
+// Physical slots 0 and 1 are the alternating meta pages. A checkpoint writes
+// the new meta image (sequence number, page-table location, WAL generation)
+// to the slot its sequence number selects — seq%2 — after all data pages and
+// the page table have been written and synced, so at any instant at least
+// one meta page is a valid, internally consistent root: recovery picks the
+// valid meta with the highest sequence number and sees only pages that meta
+// references, never a torn in-between state (shadow paging).
+//
+// Page header (all non-meta pages), 16 bytes:
+//
+//	[0:4]   CRC-32 (IEEE) of bytes [4:pageSize]
+//	[4]     page type (leaf / branch / overflow / page table)
+//	[5]     reserved
+//	[6:8]   cell count (u16 LE)
+//	[8:12]  next page (u32 LE; logical id for leaf chains, physical slot 0 = none)
+//	[12:16] extra (u32 LE; leftmost child for branches, byte count for overflow)
+//
+// Meta page:
+//
+//	[0:4]   CRC-32 (IEEE) of bytes [4:metaEnd]
+//	[4:8]   magic "PFM1"
+//	[8:16]  sequence number (u64 LE)
+//	[16:20] page size (u32 LE)
+//	[20:24] physical high-water slot (u32 LE)
+//	[24:28] logical id high water (u32 LE)
+//	[28:32] catalog tree root (logical id, u32 LE; 0 = none)
+//	[32:36] WAL generation the image is consistent with (u32 LE)
+//	[36:44] next rowid (u64 LE)
+//	[44:48] catalog tree page count (u32 LE)
+//	[48:52] page-table page count (u32 LE)
+//	[52:]   page-table physical slots (u32 LE each)
+
+const (
+	pageHeaderSize  = 16
+	minPageSize     = 256
+	defaultPageSize = 4096
+	metaMagic       = "PFM1"
+	metaFixedSize   = 52
+)
+
+// Page types.
+const (
+	pageLeaf = iota + 1
+	pageBranch
+	pageOverflow
+	pagePtab
+)
+
+// Fault-injection sites on the pager's write/fsync path. Tests arm a fault
+// at a site; the pager trips it and the crash-injection matrix proves the
+// checkpoint protocol recovers from a kill at that point.
+const (
+	faultPageWrite = "page-write" // data/btree page write during flush
+	faultPtabWrite = "ptab-write" // page-table page write
+	faultDataSync  = "data-sync"  // fsync after data + page-table writes
+	faultMetaWrite = "meta-write" // meta page write
+	faultMetaSync  = "meta-sync"  // fsync after the meta write
+	faultPageRead  = "page-read"  // buffer-pool miss read-back
+)
+
+// Fault modes.
+const (
+	faultErr  = "err"  // fail without touching the file
+	faultTorn = "torn" // write the first half of the page, then fail
+)
+
+// pagerFault is one armed fault: it fires on the countdown'th hit of its
+// site (1 = next hit) and then disarms.
+type pagerFault struct {
+	site      string
+	countdown int
+	mode      string
+}
+
+type pagerMeta struct {
+	seq         uint64
+	pageSize    int
+	physHigh    uint32
+	nLogical    uint32
+	catalogRoot uint32
+	catPages    uint32
+	walGen      int
+	nextRowid   uint64
+	ptabSlots   []uint32
+}
+
+// pager performs slot-granular I/O on the page file. Callers (pagedStore)
+// serialize access through their own mutex.
+type pager struct {
+	f        *os.File
+	path     string
+	pageSize int
+
+	faults []pagerFault
+	// trackUnsynced records the pre-image of every slot written since the
+	// last successful fsync; simulateCrash restores them, modeling a kernel
+	// that never flushed its dirty buffers. Enabled by crash tests.
+	trackUnsynced bool
+	preimages     map[uint32][]byte
+
+	closed bool
+}
+
+func openPager(path string, pageSize int) (*pager, error) {
+	if pageSize == 0 {
+		pageSize = defaultPageSize
+	}
+	if pageSize < minPageSize {
+		return nil, fmt.Errorf("sql: page size %d below minimum %d", pageSize, minPageSize)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sql: opening page file: %w", err)
+	}
+	return &pager{f: f, path: path, pageSize: pageSize, preimages: make(map[uint32][]byte)}, nil
+}
+
+func (p *pager) close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	return p.f.Close()
+}
+
+// armFault installs a fault at a site; it fires on the countdown'th hit.
+func (p *pager) armFault(site string, countdown int, mode string) {
+	if countdown < 1 {
+		countdown = 1
+	}
+	p.faults = append(p.faults, pagerFault{site: site, countdown: countdown, mode: mode})
+}
+
+// checkFault decrements matching countdowns; a fault that reaches zero
+// disarms and reports its mode.
+func (p *pager) checkFault(site string) (string, bool) {
+	for i := range p.faults {
+		if p.faults[i].site != site || p.faults[i].countdown == 0 {
+			continue
+		}
+		p.faults[i].countdown--
+		if p.faults[i].countdown == 0 {
+			return p.faults[i].mode, true
+		}
+	}
+	return "", false
+}
+
+func (p *pager) slotOffset(slot uint32) int64 {
+	return int64(slot) * int64(p.pageSize)
+}
+
+// savePreimage records what a slot held before its first unsynced write.
+// A slot past EOF is recorded as zeros: restoring it yields a page whose
+// checksum cannot validate, exactly like a never-written region.
+func (p *pager) savePreimage(slot uint32) {
+	if !p.trackUnsynced {
+		return
+	}
+	if _, ok := p.preimages[slot]; ok {
+		return
+	}
+	old := make([]byte, p.pageSize)
+	p.f.ReadAt(old, p.slotOffset(slot)) // short read leaves zeros
+	p.preimages[slot] = old
+}
+
+// readSlot reads and checksum-verifies one non-meta page.
+func (p *pager) readSlot(slot uint32) ([]byte, error) {
+	if p.closed {
+		return nil, fmt.Errorf("sql: page file is closed")
+	}
+	if mode, hit := p.checkFault(faultPageRead); hit && mode == faultErr {
+		return nil, fmt.Errorf("sql: injected read fault at slot %d", slot)
+	}
+	buf := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(buf, p.slotOffset(slot)); err != nil {
+		return nil, fmt.Errorf("sql: reading page slot %d: %w", slot, err)
+	}
+	want := binary.LittleEndian.Uint32(buf[0:4])
+	if got := crc32.ChecksumIEEE(buf[4:]); got != want {
+		return nil, fmt.Errorf("sql: page slot %d checksum mismatch (stored %08x, computed %08x)", slot, want, got)
+	}
+	return buf, nil
+}
+
+// writeSlot checksums and writes one non-meta page at its slot. site names
+// the fault-injection point this write passes through.
+func (p *pager) writeSlot(slot uint32, data []byte, site string) error {
+	if p.closed {
+		return fmt.Errorf("sql: page file is closed")
+	}
+	if len(data) != p.pageSize {
+		return fmt.Errorf("sql: page write of %d bytes (page size %d)", len(data), p.pageSize)
+	}
+	binary.LittleEndian.PutUint32(data[0:4], crc32.ChecksumIEEE(data[4:]))
+	p.savePreimage(slot)
+	if mode, hit := p.checkFault(site); hit {
+		switch mode {
+		case faultTorn:
+			// A torn write: the first half of the page lands, the rest does
+			// not — then the process dies.
+			p.f.WriteAt(data[:p.pageSize/2], p.slotOffset(slot))
+			return fmt.Errorf("sql: injected torn write at slot %d (%s)", slot, site)
+		default:
+			return fmt.Errorf("sql: injected write fault at slot %d (%s)", slot, site)
+		}
+	}
+	if _, err := p.f.WriteAt(data, p.slotOffset(slot)); err != nil {
+		return fmt.Errorf("sql: writing page slot %d: %w", slot, err)
+	}
+	return nil
+}
+
+// sync makes prior writes durable; on success the pre-image journal clears
+// (those slots can no longer be lost to a crash).
+func (p *pager) sync(site string) error {
+	if p.closed {
+		return fmt.Errorf("sql: page file is closed")
+	}
+	if mode, hit := p.checkFault(site); hit && mode != "" {
+		return fmt.Errorf("sql: injected sync fault (%s)", site)
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("sql: syncing page file: %w", err)
+	}
+	p.preimages = make(map[uint32][]byte)
+	return nil
+}
+
+func encodeMeta(m *pagerMeta, pageSize int) ([]byte, error) {
+	need := metaFixedSize + 4*len(m.ptabSlots)
+	if need > pageSize {
+		return nil, fmt.Errorf("sql: meta page overflow: %d page-table slots need %d bytes (page size %d)", len(m.ptabSlots), need, pageSize)
+	}
+	buf := make([]byte, pageSize)
+	copy(buf[4:8], metaMagic)
+	binary.LittleEndian.PutUint64(buf[8:16], m.seq)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(m.pageSize))
+	binary.LittleEndian.PutUint32(buf[20:24], m.physHigh)
+	binary.LittleEndian.PutUint32(buf[24:28], m.nLogical)
+	binary.LittleEndian.PutUint32(buf[28:32], m.catalogRoot)
+	binary.LittleEndian.PutUint32(buf[32:36], uint32(m.walGen))
+	binary.LittleEndian.PutUint64(buf[36:44], m.nextRowid)
+	binary.LittleEndian.PutUint32(buf[44:48], m.catPages)
+	binary.LittleEndian.PutUint32(buf[48:52], uint32(len(m.ptabSlots)))
+	for i, s := range m.ptabSlots {
+		binary.LittleEndian.PutUint32(buf[metaFixedSize+4*i:], s)
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(buf[4:need]))
+	return buf, nil
+}
+
+// readMeta parses the meta page at slot 0 or 1; ok=false for a missing,
+// torn, or foreign page.
+func (p *pager) readMeta(slot uint32) (*pagerMeta, bool) {
+	buf := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(buf, p.slotOffset(slot)); err != nil {
+		return nil, false
+	}
+	return parseMeta(buf)
+}
+
+// parseMeta validates and decodes a meta image from a raw buffer (which may
+// be longer or shorter than the page, for size-probing reads).
+func parseMeta(buf []byte) (*pagerMeta, bool) {
+	if len(buf) < metaFixedSize || string(buf[4:8]) != metaMagic {
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(buf[48:52]))
+	end := metaFixedSize + 4*n
+	if n < 0 || end > len(buf) {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE(buf[4:end]) != binary.LittleEndian.Uint32(buf[0:4]) {
+		return nil, false
+	}
+	m := &pagerMeta{
+		seq:         binary.LittleEndian.Uint64(buf[8:16]),
+		pageSize:    int(binary.LittleEndian.Uint32(buf[16:20])),
+		physHigh:    binary.LittleEndian.Uint32(buf[20:24]),
+		nLogical:    binary.LittleEndian.Uint32(buf[24:28]),
+		catalogRoot: binary.LittleEndian.Uint32(buf[28:32]),
+		catPages:    binary.LittleEndian.Uint32(buf[44:48]),
+		walGen:      int(binary.LittleEndian.Uint32(buf[32:36])),
+		nextRowid:   binary.LittleEndian.Uint64(buf[36:44]),
+		ptabSlots:   make([]uint32, n),
+	}
+	for i := range m.ptabSlots {
+		m.ptabSlots[i] = binary.LittleEndian.Uint32(buf[metaFixedSize+4*i:])
+	}
+	return m, true
+}
+
+// probeMeta reads a meta image at an arbitrary byte offset without assuming
+// the page size — used at open to learn the file's true page size even when
+// the caller configured a different one.
+func probeMetaAt(f *os.File, off int64) (*pagerMeta, bool) {
+	buf := make([]byte, 1<<16)
+	n, _ := f.ReadAt(buf, off)
+	if n < metaFixedSize {
+		return nil, false
+	}
+	return parseMeta(buf[:n])
+}
+
+// loadMeta returns the valid meta page with the highest sequence number, or
+// ok=false when neither slot holds one (a fresh or torn-at-birth file).
+func (p *pager) loadMeta() (*pagerMeta, bool) {
+	m0, ok0 := p.readMeta(0)
+	m1, ok1 := p.readMeta(1)
+	switch {
+	case ok0 && ok1:
+		if m1.seq > m0.seq {
+			return m1, true
+		}
+		return m0, true
+	case ok0:
+		return m0, true
+	case ok1:
+		return m1, true
+	default:
+		return nil, false
+	}
+}
+
+// writeMeta writes the meta image to the slot its sequence selects and
+// syncs it — the commit point of a checkpoint.
+func (p *pager) writeMeta(m *pagerMeta) error {
+	buf, err := encodeMeta(m, p.pageSize)
+	if err != nil {
+		return err
+	}
+	slot := uint32(m.seq % 2)
+	p.savePreimage(slot)
+	if mode, hit := p.checkFault(faultMetaWrite); hit {
+		switch mode {
+		case faultTorn:
+			p.f.WriteAt(buf[:p.pageSize/2], p.slotOffset(slot))
+			return fmt.Errorf("sql: injected torn meta write")
+		default:
+			return fmt.Errorf("sql: injected meta write fault")
+		}
+	}
+	if _, err := p.f.WriteAt(buf, p.slotOffset(slot)); err != nil {
+		return fmt.Errorf("sql: writing meta page: %w", err)
+	}
+	return p.sync(faultMetaSync)
+}
+
+// neutralizeMeta zeroes the meta slot a failed writeMeta may have half (or,
+// worse, fully) landed, and syncs. A meta-write error is ambiguous — the
+// header can survive a torn write, and a failed fsync does not prove the
+// platter missed the page — so the failure path scrubs the slot to make the
+// previous meta unambiguously the durable root again. Deliberately bypasses
+// the injection sites: this is the recovery arm of the fault, not a new
+// exposure of it.
+func (p *pager) neutralizeMeta(seq uint64) error {
+	if p.closed {
+		return fmt.Errorf("sql: page file is closed")
+	}
+	slot := uint32(seq % 2)
+	p.savePreimage(slot)
+	if _, err := p.f.WriteAt(make([]byte, p.pageSize), p.slotOffset(slot)); err != nil {
+		return fmt.Errorf("sql: scrubbing meta slot %d: %w", slot, err)
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("sql: syncing scrubbed meta: %w", err)
+	}
+	p.preimages = make(map[uint32][]byte)
+	return nil
+}
+
+// simulateCrash models a process kill: every write since the last
+// successful fsync may or may not have reached the platter, and this takes
+// the adversarial branch — all of them are rolled back to their pre-images
+// (when tracking is on) — then the descriptor closes without syncing.
+func (p *pager) simulateCrash() {
+	if p.closed {
+		return
+	}
+	for slot, img := range p.preimages {
+		p.f.WriteAt(img, p.slotOffset(slot))
+	}
+	p.preimages = make(map[uint32][]byte)
+	p.closed = true
+	p.f.Close()
+}

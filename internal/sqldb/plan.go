@@ -207,6 +207,13 @@ const (
 	// multiplies two bounds.
 	defaultEqSelectivity    = 0.01
 	defaultBoundSelectivity = 1.0 / 3.0
+	// seqPageCost and randPageCost weight the disk I/O of a paged table
+	// (zero pages for in-memory tables, leaving the row-count model intact):
+	// a sequential scan reads every heap page in order, an index probe
+	// read-backs scattered pages — priced at the conventional 4× of
+	// readahead-friendly sequential I/O.
+	seqPageCost  = 1.0
+	randPageCost = 4.0
 )
 
 // SetPlannerOptions installs planner tuning and invalidates cached plans.
@@ -306,8 +313,11 @@ func chooseAccessPath(db *DB, t *Table, alias string, where Expr) accessPath {
 		return seq
 	}
 
+	pages := float64(db.storedTablePages(t.Name))
 	best := seq
-	bestCost := float64(n) // sequential scan visits every row
+	// A sequential scan visits every row, plus — when the table is paged —
+	// every heap page in sequential order.
+	bestCost := float64(n) + seqPageCost*pages
 	for _, conj := range splitConjuncts(where, nil) {
 		p := matchProbe(conj, alias)
 		if p == nil {
@@ -341,7 +351,9 @@ func chooseAccessPath(db *DB, t *Table, alias string, where Expr) accessPath {
 		if est < 1 && n > 0 {
 			est = 1
 		}
-		cost = probeCost + est
+		// An index path touches at most one heap page per produced row
+		// (clamped to the table's page count), but in random order.
+		cost = probeCost + est + randPageCost*math.Min(est, pages)
 		if cost < bestCost {
 			kind := accessIndexRange
 			if p.eq != nil {
@@ -559,7 +571,9 @@ func (p *physPlan) run(cx *evalCtx) (RowStream, error) {
 	// parallel is only planned for LIMIT/OFFSET-free statements, so the
 	// serial accounting below never applies to a partitioned scan.
 	if p.parallel {
-		return newParallelScanStream(env, rows, p.filter, p.projs, p.cols, p.workers), nil
+		ps := newParallelScanStream(env, rows, p.filter, p.projs, p.cols, p.workers)
+		ps.align = pageAlignRows(cx.db, p.table.Name, len(rows))
+		return ps, nil
 	}
 	return &compiledStream{
 		env:    env,

@@ -155,7 +155,7 @@ func TestRecoverySnapshotPlusPartialWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustExec(t, db, `INSERT INTO t VALUES (2)`) // lives only in the gen-1 WAL
-	db.SimulateCrash() // kill
+	db.SimulateCrash()                          // kill
 
 	// The checkpoint rotated generations: exactly one WAL file remains.
 	matches, _ := filepath.Glob(filepath.Join(dir, walFilePattern))

@@ -14,7 +14,7 @@ import (
 
 func streamTestDB(t testing.TB, rows int) *DB {
 	t.Helper()
-	db := New()
+	db := newSuiteDB(t)
 	if _, err := db.Query(`CREATE TABLE big (id int, val float, name text)`); err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestQueryRowsMatchesQuery(t *testing.T) {
 // does bounded work: a generate_series of a billion rows answers LIMIT 3
 // immediately.
 func TestStreamLimitEarlyExit(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	it, err := db.QueryRows(`SELECT gs FROM generate_series(1, 1000000000) AS gs LIMIT 3`)
 	if err != nil {
 		t.Fatal(err)
@@ -171,7 +171,7 @@ func TestQueryContextCancelledMidStream(t *testing.T) {
 // aggregate over a practically unbounded generate_series (regression: the
 // drain used to ignore the context and spin for minutes).
 func TestCancelAggregateOverUnboundedSource(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
@@ -265,7 +265,7 @@ func TestDBClosedReturnsErrClosed(t *testing.T) {
 }
 
 func TestTxHandleCommitAndRollback(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	if _, err := db.Query(`CREATE TABLE t (a int)`); err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +324,7 @@ func TestTxHandleCommitAndRollback(t *testing.T) {
 // error and never finishes a handle, and transaction control inside a
 // handle is rejected (handles commit through the API).
 func TestTxHandleInteropWithSQLText(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	if _, err := db.Query(`CREATE TABLE t (a int)`); err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +369,7 @@ func TestTxHandleInteropWithSQLText(t *testing.T) {
 // TestTxCommitAfterDBCloseFails: Close detaches the WAL; a commit that can
 // no longer be made durable must fail loudly, not report success.
 func TestTxCommitAfterDBCloseFails(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	if _, err := db.Query(`CREATE TABLE t (a int)`); err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +389,7 @@ func TestTxCommitAfterDBCloseFails(t *testing.T) {
 }
 
 func TestTxRollbackUndoesDDLAndIndexes(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	tx, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)
@@ -412,7 +412,7 @@ func TestTxRollbackUndoesDDLAndIndexes(t *testing.T) {
 }
 
 func TestScanDestinations(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	if _, err := db.Query(`CREATE TABLE v (i int, f float, s text, b boolean)`); err != nil {
 		t.Fatal(err)
 	}
@@ -457,7 +457,7 @@ func TestScanDestinations(t *testing.T) {
 // honours LIMIT without producing the tail, and still materializes
 // correctly via Query.
 func TestStreamingTableUDF(t *testing.T) {
-	db := New()
+	db := newSuiteDB(t)
 	produced := 0
 	db.RegisterTableIter("nat", func(_ context.Context, _ *DB, args []variant.Value) (RowStream, error) {
 		n, err := args[0].AsInt()

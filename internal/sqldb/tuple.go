@@ -1,0 +1,158 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/variant"
+)
+
+// On-disk tuple encoding for the paged storage engine (see pagedstore.go).
+//
+// A stored tuple is the latest committed version of one row, keyed in its
+// table's heap B+tree by rowid. The header carries the row's MVCC stamps —
+// the begin stamp is the commit timestamp that created the version, the end
+// stamp is zero while it is live — so the on-disk format speaks the same
+// visibility language as the in-memory version arrays (mvcc.go). Superseded
+// versions never reach the store: commit applies the delete of the old
+// version and the insert of the new one in the same batch, so the heap
+// always holds exactly the latest committed image.
+//
+//	[begin u64 LE][end u64 LE][ncols u16 LE][column]...
+//
+// Column values are kind-tagged:
+//
+//	0x00 null
+//	0x01 bool     1 byte (0/1)
+//	0x02 int      8 bytes LE
+//	0x03 float    8 bytes LE (IEEE bits)
+//	0x04 text     u32 LE length + bytes
+//	0x05 time     8 bytes LE unix nanoseconds + 4 bytes LE zone offset secs
+
+const tupleHeaderSize = 8 + 8 + 2
+
+// encodeTuple serializes one row version with its MVCC stamps.
+func encodeTuple(begin, end uint64, row Row) []byte {
+	buf := make([]byte, tupleHeaderSize, tupleHeaderSize+16*len(row))
+	binary.LittleEndian.PutUint64(buf[0:8], begin)
+	binary.LittleEndian.PutUint64(buf[8:16], end)
+	binary.LittleEndian.PutUint16(buf[16:18], uint16(len(row)))
+	for _, v := range row {
+		buf = appendTupleValue(buf, v)
+	}
+	return buf
+}
+
+func appendTupleValue(buf []byte, v variant.Value) []byte {
+	switch v.Kind() {
+	case variant.Bool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		return append(buf, 0x01, b)
+	case variant.Int:
+		buf = append(buf, 0x02)
+		return binary.LittleEndian.AppendUint64(buf, uint64(v.Int()))
+	case variant.Float:
+		buf = append(buf, 0x03)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float()))
+	case variant.Text:
+		s := v.Text()
+		buf = append(buf, 0x04)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		return append(buf, s...)
+	case variant.Time:
+		t := v.Time()
+		_, off := t.Zone()
+		buf = append(buf, 0x05)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.UnixNano()))
+		return binary.LittleEndian.AppendUint32(buf, uint32(int32(off)))
+	default:
+		return append(buf, 0x00)
+	}
+}
+
+// decodeTuple parses a stored tuple back into its stamps and row values.
+func decodeTuple(data []byte) (begin, end uint64, row Row, err error) {
+	if len(data) < tupleHeaderSize {
+		return 0, 0, nil, fmt.Errorf("sql: stored tuple too short (%d bytes)", len(data))
+	}
+	begin = binary.LittleEndian.Uint64(data[0:8])
+	end = binary.LittleEndian.Uint64(data[8:16])
+	n := int(binary.LittleEndian.Uint16(data[16:18]))
+	row = make(Row, 0, n)
+	p := tupleHeaderSize
+	for i := 0; i < n; i++ {
+		if p >= len(data) {
+			return 0, 0, nil, fmt.Errorf("sql: stored tuple truncated at column %d", i)
+		}
+		kind := data[p]
+		p++
+		switch kind {
+		case 0x00:
+			row = append(row, variant.NewNull())
+		case 0x01:
+			if p+1 > len(data) {
+				return 0, 0, nil, fmt.Errorf("sql: stored tuple truncated in bool column %d", i)
+			}
+			row = append(row, variant.NewBool(data[p] == 1))
+			p++
+		case 0x02:
+			if p+8 > len(data) {
+				return 0, 0, nil, fmt.Errorf("sql: stored tuple truncated in int column %d", i)
+			}
+			row = append(row, variant.NewInt(int64(binary.LittleEndian.Uint64(data[p:]))))
+			p += 8
+		case 0x03:
+			if p+8 > len(data) {
+				return 0, 0, nil, fmt.Errorf("sql: stored tuple truncated in float column %d", i)
+			}
+			row = append(row, variant.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(data[p:]))))
+			p += 8
+		case 0x04:
+			if p+4 > len(data) {
+				return 0, 0, nil, fmt.Errorf("sql: stored tuple truncated in text column %d", i)
+			}
+			l := int(binary.LittleEndian.Uint32(data[p:]))
+			p += 4
+			if p+l > len(data) {
+				return 0, 0, nil, fmt.Errorf("sql: stored tuple truncated in text column %d", i)
+			}
+			row = append(row, variant.NewText(string(data[p:p+l])))
+			p += l
+		case 0x05:
+			if p+12 > len(data) {
+				return 0, 0, nil, fmt.Errorf("sql: stored tuple truncated in time column %d", i)
+			}
+			ns := int64(binary.LittleEndian.Uint64(data[p:]))
+			off := int32(binary.LittleEndian.Uint32(data[p+8:]))
+			p += 12
+			loc := time.UTC
+			if off != 0 {
+				loc = time.FixedZone("", int(off))
+			}
+			row = append(row, variant.NewTime(time.Unix(0, ns).In(loc)))
+		default:
+			return 0, 0, nil, fmt.Errorf("sql: stored tuple has unknown value kind 0x%02x", kind)
+		}
+	}
+	return begin, end, row, nil
+}
+
+// rowidKey is the heap B+tree key for a rowid: big-endian so the tree's
+// range order is rowid order (which is insertion order).
+func rowidKey(rowid uint64) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], rowid)
+	return k[:]
+}
+
+func decodeRowidKey(k []byte) uint64 {
+	if len(k) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(k)
+}

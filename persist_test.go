@@ -266,6 +266,66 @@ func TestRecoveryOpenPathCheckpoint(t *testing.T) {
 	}
 }
 
+// TestPagedSessionSurvivesKill runs the full pgFMU stack — catalogue,
+// calibration, user tables — on the paged on-disk storage engine with a
+// deliberately tiny page size and buffer pool, checkpoints into the page
+// image, kills the process, and proves a paged reopen recovers everything.
+func TestPagedSessionSurvivesKill(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	open := func() *DB {
+		db, err := Open(dir,
+			WithPagedStorage(512, 8),
+			WithEstimatorOptions(EstimatorOptions{
+				GA: GAOptions{Population: 14, Generations: 8, Seed: 5},
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	db := open()
+	loadHP1(t, db, "measurements", 1)
+	if _, err := db.CreateModel(dataset.HP1Source, "hp"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := db.Calibrate([]string{"hp"},
+		[]string{"SELECT time, x, u FROM measurements"}, []string{"Cp", "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fittedCp := results[0].Params["Cp"]
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint commits live only in the WAL tail at kill time.
+	if _, err := db.Exec(`CREATE TABLE extra (a integer)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO extra VALUES (7)`); err != nil {
+		t.Fatal(err)
+	}
+	db.SQL().SimulateCrash()
+
+	re := open()
+	defer re.Close()
+	if rs, err := re.Query(`SELECT count(*) FROM measurements`); err != nil || rs.Rows[0][0].Int() == 0 {
+		t.Fatalf("measurements after paged recovery = %v, %v", rs, err)
+	}
+	if rs, err := re.Query(`SELECT a FROM extra`); err != nil || len(rs.Rows) != 1 || rs.Rows[0][0].Int() != 7 {
+		t.Fatalf("WAL-tail table after paged recovery = %v, %v", rs, err)
+	}
+	initial, _, _, err := re.Get("hp", "Cp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp, _ := initial.AsFloat(); math.Abs(cp-fittedCp) > 1e-9 {
+		t.Errorf("recovered Cp = %v, want %v", cp, fittedCp)
+	}
+	if rs, err := re.Query(`SELECT count(*) FROM fmu_simulate('hp', 'SELECT * FROM measurements')`); err != nil || rs.Rows[0][0].Int() == 0 {
+		t.Fatalf("simulate on paged recovery = %v, %v", rs, err)
+	}
+}
+
 func writeTestFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
