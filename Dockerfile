@@ -1,0 +1,23 @@
+# Build stage: compile pgfmu-server (and the load tester, handy for
+# in-container smoke runs) with the version stamped from the build arg.
+FROM golang:1.22 AS build
+ARG VERSION=dev
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build \
+      -ldflags "-s -w -X repro/internal/buildinfo.version=${VERSION}" \
+      -o /out/pgfmu-server ./cmd/pgfmu-server \
+ && CGO_ENABLED=0 go build \
+      -ldflags "-s -w -X repro/internal/buildinfo.version=${VERSION}" \
+      -o /out/pgfmu-loadtest ./cmd/pgfmu-loadtest
+
+# Runtime stage: static binaries on a minimal base. The server listens on
+# :8080 and persists to /data (mount a volume to keep it across restarts).
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/pgfmu-server /usr/local/bin/pgfmu-server
+COPY --from=build /out/pgfmu-loadtest /usr/local/bin/pgfmu-loadtest
+EXPOSE 8080
+VOLUME /data
+ENTRYPOINT ["/usr/local/bin/pgfmu-server"]
+CMD ["-addr", ":8080", "-data", "/data"]

@@ -1,0 +1,61 @@
+// Command pgfmu-loadtest drives a running pgfmu-server with N concurrent
+// clients through a mixed read / write / FMU-simulation workload and
+// prints p50/p95/p99 latencies (see internal/server/loadtest).
+//
+//	$ pgfmu-server -addr :8080 &
+//	$ pgfmu-loadtest -url http://127.0.0.1:8080 -clients 50 -duration 30s
+//
+// Every client verifies its reads against its own committed writes, so the
+// "corrupted" count is an end-to-end consistency check, not just a smoke
+// signal. A clean run reports errors=0 corrupted=0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/server/loadtest"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "pgfmu-server base URL")
+		token    = flag.String("token", os.Getenv("PGFMU_AUTH_TOKEN"), "bearer token")
+		clients  = flag.Int("clients", 50, "concurrent client sessions")
+		duration = flag.Duration("duration", 30*time.Second, "run length")
+		read     = flag.Int("read", loadtest.DefaultMix.Read, "read weight")
+		write    = flag.Int("write", loadtest.DefaultMix.Write, "write weight")
+		fmu      = flag.Int("fmu", loadtest.DefaultMix.FMU, "fmu-simulate weight")
+		seed     = flag.Int64("seed", 1, "workload rng seed")
+		version  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("pgfmu-loadtest", buildinfo.Version())
+		return
+	}
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Options{
+		URL:      *url,
+		Token:    *token,
+		Clients:  *clients,
+		Duration: *duration,
+		Mix:      loadtest.Mix{Read: *read, Write: *write, FMU: *fmu},
+		Seed:     *seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgfmu-loadtest:", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+	if rep.Errors > 0 || rep.Corrupted > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package buildinfo carries the version stamp baked into release binaries.
+//
+// The variable is overridden at link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.version=v1.2.3" ./cmd/pgfmu-server
+//
+// Unstamped builds (go run, go test, plain go build) report "dev".
+package buildinfo
+
+var version = "dev"
+
+// Version returns the stamp this binary was linked with.
+func Version() string { return version }

@@ -1,0 +1,72 @@
+package loadtest
+
+// Smoke test: boot a real server in-process and run a short, small-N load
+// test through the full HTTP stack. CI-sized — the acceptance-scale run
+// (50 clients, 30s) is cmd/pgfmu-loadtest against a running server; this
+// keeps the harness itself honest (zero errors, zero corruption, sane
+// percentiles) on every test run.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"testing"
+	"time"
+
+	pgfmu "repro"
+	"repro/internal/server"
+)
+
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short")
+	}
+	db, err := pgfmu.Open("", pgfmu.WithLockWaitTimeout(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := server.New(db, server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	rep, err := Run(context.Background(), Options{
+		URL:      "http://" + addr.String(),
+		Clients:  6,
+		Duration: 2 * time.Second,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report:\n%s", rep)
+
+	if rep.Ops == 0 || rep.Reads == 0 || rep.Writes == 0 || rep.FMUs == 0 {
+		t.Fatalf("mix incomplete: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d op errors (want 0)", rep.Errors)
+	}
+	if rep.Corrupted != 0 {
+		t.Fatalf("%d corrupted responses (want 0)", rep.Corrupted)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v", rep.P50, rep.P99)
+	}
+}

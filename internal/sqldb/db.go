@@ -86,6 +86,13 @@ type DB struct {
 	// replayOps buffers the current WAL transaction's row changes during
 	// paged recovery, applied to the store at each replayed commit.
 	replayOps []pagedOp
+	// commitCount / checkpointCount / walRecordCount are monitoring
+	// counters surfaced by EngineStats (see counters.go); they never affect
+	// execution.
+	commitCount     atomic.Uint64
+	checkpointCount atomic.Uint64
+	walRecordCount  atomic.Uint64
+
 	// lockWaitNanos bounds how long a transaction that already holds latches
 	// (or the shared lock) waits for another table's latch; expiry surfaces
 	// as ErrWriteConflict, converting potential latch-order deadlocks into a
@@ -523,10 +530,10 @@ func (db *DB) execTxStmt(ctx context.Context, text string, cp *cachedPlan, param
 	// UDFs invoked by this statement receive a context that still carries
 	// the transaction but is marked nested, so their QueryNested calls join
 	// it without re-taking the database lock.
+	// cx.physLog (whether writes must be physically WAL-logged) depends on
+	// db.wal, which Close nils under db.mu — so it is resolved below, after
+	// each branch acquires the lock, not here.
 	cx := &evalCtx{db: db, params: params, ctx: context.WithValue(ctx, nestedCtxKey{}, true), txn: tx, snap: tx.snap}
-	if db.wal != nil {
-		cx.physLog = true
-	}
 	if db.isReadOnly(cp.stmt) {
 		if err := db.rlockBounded(); err != nil {
 			return nil, err
@@ -575,6 +582,7 @@ func (db *DB) execTxStmt(ctx context.Context, text string, cp *cachedPlan, param
 				db.mu.RUnlock()
 				continue
 			}
+			cx.physLog = db.wal != nil
 			st, err := db.execStatement(cx, text, cp)
 			db.mu.RUnlock()
 			if err != nil {
@@ -595,6 +603,7 @@ func (db *DB) execTxStmt(ctx context.Context, text string, cp *cachedPlan, param
 	if db.txn != nil {
 		return nil, fmt.Errorf("%w (exclusive statement inside a concurrent transaction)", ErrTxInProgress)
 	}
+	cx.physLog = db.wal != nil
 	st, err := db.execStatement(cx, text, cp)
 	if err != nil {
 		return nil, err
@@ -722,6 +731,7 @@ func (db *DB) commitTxn(t *txnState) (ckptDue bool, err error) {
 	}
 	db.clock.Store(ts)
 	db.snaps.drop(t)
+	db.commitCount.Add(1)
 	return db.walCheckpointDue(), nil
 }
 

@@ -308,6 +308,13 @@ func (st *snapTracker) drop(tx *txnState) {
 	st.mu.Unlock()
 }
 
+// count returns the number of registered (open) concurrent transactions.
+func (st *snapTracker) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.active)
+}
+
 // oldest returns the smallest active snapshot timestamp, or def when no
 // transaction is registered.
 func (st *snapTracker) oldest(def uint64) uint64 {

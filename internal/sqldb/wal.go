@@ -613,7 +613,11 @@ func (db *DB) walCommit(t *txnState) error {
 	if db.wal == nil || len(t.pending) == 0 {
 		return nil
 	}
-	return db.wal.commit(t.pending)
+	if err := db.wal.commit(t.pending); err != nil {
+		return err
+	}
+	db.walRecordCount.Add(uint64(len(t.pending)))
+	return nil
 }
 
 // walCheckpointDue reports whether the configured record budget is
@@ -707,6 +711,7 @@ func (db *DB) checkpointLocked() error {
 		w.failed = false
 		old.Close()
 		os.Remove(walGenPath(w.dir, newGen-1))
+		db.checkpointCount.Add(1)
 		return nil
 	}
 
@@ -750,6 +755,7 @@ func (db *DB) checkpointLocked() error {
 	w.failed = false
 	old.Close()
 	os.Remove(walGenPath(w.dir, newGen-1))
+	db.checkpointCount.Add(1)
 	return nil
 }
 

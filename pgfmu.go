@@ -326,6 +326,15 @@ func (db *DB) Analyze(table string) error {
 	return db.session.DB().Analyze(table)
 }
 
+// EngineStats is a point-in-time snapshot of the engine's operational
+// counters (commits, checkpoints, WAL records, open concurrent
+// transactions); see sqldb.EngineStats. cmd/pgfmu-server surfaces it on
+// /stats.
+type EngineStats = sqldb.EngineStats
+
+// EngineStats returns the engine's operational counters.
+func (db *DB) EngineStats() EngineStats { return db.session.DB().EngineStats() }
+
 // Session exposes the pgFMU core for advanced use.
 func (db *DB) Session() *core.Session { return db.session }
 
