@@ -1,0 +1,196 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark results can be committed,
+// diffed, and consumed by CI without scraping.
+//
+//	$ go test -bench 'BenchmarkVectorized' -run '^$' ./internal/sqldb | benchjson -o BENCH.json
+//
+// The document records the environment lines go test prints (goos, goarch,
+// pkg, cpu), one entry per benchmark result line, and — for every parent
+// benchmark with exactly two sub-benchmarks — the speedup of the faster
+// variant over the slower one, which is how A/B executor benchmarks
+// (vectorized vs row-at-a-time) publish their ratio.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+type ratio struct {
+	Benchmark string  `json:"benchmark"`
+	Fast      string  `json:"fast"`
+	Slow      string  `json:"slow"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+	Ratios     []ratio  `json:"ratios,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	d, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func parse(in io.Reader) (*doc, error) {
+	d := &doc{Benchmarks: []result{}}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			d.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			d.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			d.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			d.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseResult(line)
+			if !ok {
+				continue
+			}
+			d.Benchmarks = append(d.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(d.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines in input")
+	}
+	d.Ratios = ratios(d.Benchmarks)
+	return d, nil
+}
+
+// parseResult decodes one result line:
+//
+//	BenchmarkFoo/Bar-4   20   42371847 ns/op   32284643 B/op   168 allocs/op
+func parseResult(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	r := result{Name: fields[0]}
+	// The trailing -N is the GOMAXPROCS the run used, not part of the name.
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r.Iterations = n
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	if r.NsPerOp == 0 {
+		return result{}, false
+	}
+	return r, true
+}
+
+// ratios derives fast-vs-slow speedups for every parent benchmark that has
+// exactly two sub-benchmark results.
+func ratios(bs []result) []ratio {
+	byParent := map[string][]result{}
+	var order []string
+	for _, r := range bs {
+		i := strings.Index(r.Name, "/")
+		if i < 0 {
+			continue
+		}
+		parent := r.Name[:i]
+		if _, seen := byParent[parent]; !seen {
+			order = append(order, parent)
+		}
+		byParent[parent] = append(byParent[parent], r)
+	}
+	var out []ratio
+	for _, parent := range order {
+		pair := byParent[parent]
+		if len(pair) != 2 || pair[0].NsPerOp == 0 || pair[1].NsPerOp == 0 {
+			continue
+		}
+		fast, slow := pair[0], pair[1]
+		if fast.NsPerOp > slow.NsPerOp {
+			fast, slow = slow, fast
+		}
+		out = append(out, ratio{
+			Benchmark: parent,
+			Fast:      fast.Name,
+			Slow:      slow.Name,
+			Speedup:   round2(slow.NsPerOp / fast.NsPerOp),
+		})
+	}
+	return out
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

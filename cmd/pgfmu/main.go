@@ -19,7 +19,9 @@
 //	\q          quit
 //	\d          list tables
 //	\timing     toggle per-statement timing (local: parse / plan / execute
-//	            phases; remote: server execute + round trip)
+//	            phases plus the executor that ran — vectorized, compiled,
+//	            stream, operators, or materialize; remote: server execute
+//	            + round trip)
 //	\explain Q  show the physical plan for statement Q (shorthand for EXPLAIN Q)
 //	\i FILE     execute statements from FILE
 package main
@@ -286,8 +288,12 @@ func (sh *shell) exec(sql string) {
 	}
 	if sh.timing {
 		done := time.Now()
-		fmt.Fprintf(sh.out, "Time: parse %.3f ms, plan %.3f ms, execute %.3f ms (total %.3f ms)\n",
-			ms(parsed.Sub(start)), ms(planned.Sub(parsed)), ms(done.Sub(planned)), ms(done.Sub(start)))
+		exec := ""
+		if kind, err := stmt.ExecutorKind(); err == nil && kind != "" {
+			exec = fmt.Sprintf(" [executor: %s]", kind)
+		}
+		fmt.Fprintf(sh.out, "Time: parse %.3f ms, plan %.3f ms, execute %.3f ms (total %.3f ms)%s\n",
+			ms(parsed.Sub(start)), ms(planned.Sub(parsed)), ms(done.Sub(planned)), ms(done.Sub(start)), exec)
 	}
 }
 

@@ -302,7 +302,7 @@ func exprEqual(a, b Expr) bool {
 				return false
 			}
 		}
-		return true
+		return windowSpecEqual(x.Over, y.Over)
 	case *InExpr:
 		y, ok := b.(*InExpr)
 		if !ok || x.Not != y.Not || len(x.List) != len(y.List) || !exprEqual(x.X, y.X) {

@@ -34,12 +34,45 @@ type UnaryExpr struct {
 	X  Expr
 }
 
-// FuncExpr is a function call; Star marks count(*).
+// FuncExpr is a function call; Star marks count(*). A non-nil Over makes
+// the call a window function (sum(x) OVER (...)) rather than a plain
+// aggregate or scalar call.
 type FuncExpr struct {
 	Name     string
 	Args     []Expr
 	Star     bool
 	Distinct bool
+	Over     *WindowSpec
+}
+
+// WindowSpec is the OVER (...) clause of a window function call.
+type WindowSpec struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+	Frame       *WindowFrame // nil means the default frame
+}
+
+// Window frame bound kinds.
+const (
+	frameUnboundedPreceding = iota
+	frameOffsetPreceding
+	frameCurrentRow
+	frameOffsetFollowing
+	frameUnboundedFollowing
+)
+
+// FrameBound is one endpoint of a ROWS frame.
+type FrameBound struct {
+	Kind   int
+	Offset int64 // for frameOffsetPreceding/Following
+}
+
+// WindowFrame is ROWS BETWEEN <start> AND <end> (the only supported mode;
+// the default frame without a ROWS clause is range-to-current-row with
+// peers when ORDER BY is present, else the whole partition).
+type WindowFrame struct {
+	Start FrameBound
+	End   FrameBound
 }
 
 // CastExpr is expr::type or CAST(expr AS type).
@@ -106,6 +139,14 @@ func walkExpr(e Expr, visit func(Expr) bool) {
 	case *FuncExpr:
 		for _, a := range x.Args {
 			walkExpr(a, visit)
+		}
+		if x.Over != nil {
+			for _, p := range x.Over.PartitionBy {
+				walkExpr(p, visit)
+			}
+			for _, o := range x.Over.OrderBy {
+				walkExpr(o.Expr, visit)
+			}
 		}
 	case *InExpr:
 		walkExpr(x.X, visit)

@@ -41,24 +41,40 @@ type compiledExpr func(env *compEnv, row Row) (variant.Value, error)
 
 // compiler compiles expressions against a single source relation: alias and
 // columns fix every column reference to an offset. A compiler with no
-// columns compiles only row-independent (constant) expressions.
+// columns compiles only row-independent (constant) expressions. An optional
+// extra source (the synthetic window-value columns) resolves qualified
+// references only, at offsets past the primary columns — rows presented to
+// such a compiler are the primary row with the extra values appended.
 type compiler struct {
-	alias string
-	cols  []Column
+	alias      string
+	cols       []Column
+	extraAlias string
+	extraCols  []Column
 }
 
 // resolve maps a column reference to its offset, or -1 when it cannot be
 // resolved against this source.
 func (c *compiler) resolve(table, name string) int {
-	if table != "" && !strings.EqualFold(table, c.alias) {
+	if table == "" || strings.EqualFold(table, c.alias) {
+		for i, col := range c.cols {
+			if strings.EqualFold(col.Name, name) {
+				return i
+			}
+		}
 		return -1
 	}
-	for i, col := range c.cols {
-		if strings.EqualFold(col.Name, name) {
-			return i
+	if c.extraAlias != "" && strings.EqualFold(table, c.extraAlias) {
+		for i, col := range c.extraCols {
+			if strings.EqualFold(col.Name, name) {
+				return len(c.cols) + i
+			}
 		}
 	}
 	return -1
+}
+
+func paramUnboundErr(idx int) error {
+	return fmt.Errorf("sql: no value bound for parameter $%d", idx)
 }
 
 // compile lowers e to a closure; ok is false when e is not compilable
@@ -74,7 +90,7 @@ func (c *compiler) compile(e Expr) (compiledExpr, bool) {
 		idx := x.Index
 		return func(env *compEnv, _ Row) (variant.Value, error) {
 			if idx > len(env.params) {
-				return variant.Value{}, fmt.Errorf("sql: no value bound for parameter $%d", idx)
+				return variant.Value{}, paramUnboundErr(idx)
 			}
 			return env.params[idx-1], nil
 		}, true
@@ -141,7 +157,7 @@ func (c *compiler) compile(e Expr) (compiledExpr, bool) {
 
 	case *FuncExpr:
 		name := strings.ToLower(x.Name)
-		if isAggregateName(name) || x.Star || x.Distinct {
+		if isAggregateName(name) || x.Star || x.Distinct || x.Over != nil {
 			return nil, false
 		}
 		fn, builtin := builtinScalars[name]

@@ -631,6 +631,8 @@ func (db *DB) selectStream(cx *evalCtx, s *SelectStmt, cp *cachedPlan) (RowStrea
 		return db.buildSelectStream(cx, s)
 	case physOps:
 		return plan.ops.open(cx)
+	case physVectorized:
+		return plan.vec.open(cx)
 	default:
 		rs, err := execSelect(cx, s, nil)
 		if err != nil {

@@ -194,6 +194,12 @@ func evalExpr(cx *evalCtx, e Expr) (variant.Value, error) {
 		return castValue(v, x.Type)
 
 	case *FuncExpr:
+		if x.Over != nil {
+			return variant.Value{}, fmt.Errorf("sql: window function %s() is not allowed here", x.Name)
+		}
+		if isWindowOnlyName(x.Name) {
+			return variant.Value{}, fmt.Errorf("sql: window function %s() requires an OVER clause", x.Name)
+		}
 		if isAggregateName(x.Name) {
 			return variant.Value{}, fmt.Errorf("sql: aggregate %s() not allowed here", x.Name)
 		}

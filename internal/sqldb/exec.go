@@ -47,6 +47,20 @@ func execSelect(cx *evalCtx, s *SelectStmt, outer *scope) (*ResultSet, error) {
 	}
 
 	hasAggregates := selectHasAggregates(s)
+
+	// 2b. Window functions: compute each distinct windowed call over the
+	// filtered rows as a synthetic column, then project a rewritten select
+	// list that references those columns.
+	if selectHasWindows(s) {
+		if hasAggregates || len(s.GroupBy) > 0 {
+			return nil, fmt.Errorf("sql: window functions cannot be combined with GROUP BY or aggregates")
+		}
+		s, sources, rows, err = applyWindowStage(cx, s, sources, rows, outer)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var result *ResultSet
 	if len(s.GroupBy) > 0 || hasAggregates {
 		result, err = execAggregate(cx, s, sources, rows, outer)
@@ -112,6 +126,9 @@ type sourceInfo struct {
 	alias   string
 	columns []Column
 	width   int
+	// hidden sources (the synthetic window-value columns) resolve for
+	// qualified references but are excluded from * expansion.
+	hidden bool
 }
 
 // bindScope slices a joined row into per-source bound rows.
@@ -331,6 +348,9 @@ func expandItems(items []SelectItem, sources []sourceInfo) ([]Column, []Expr, er
 		if item.Star {
 			matched := false
 			for _, src := range sources {
+				if src.hidden {
+					continue
+				}
 				if item.Table != "" && !strings.EqualFold(src.alias, item.Table) {
 					continue
 				}
@@ -386,7 +406,9 @@ func selectHasAggregates(s *SelectStmt) bool {
 func exprHasAggregate(e Expr) bool {
 	switch x := e.(type) {
 	case *FuncExpr:
-		if isAggregateName(x.Name) {
+		// A windowed call (sum(x) OVER ...) is not an aggregate: it neither
+		// groups its input nor collapses rows.
+		if isAggregateName(x.Name) && x.Over == nil {
 			return true
 		}
 		for _, a := range x.Args {

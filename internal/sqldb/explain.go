@@ -92,8 +92,58 @@ func (r *planRenderer) renderSelect(s *SelectStmt, depth int) error {
 		return nil
 	case physOps:
 		return r.renderOps(plan.ops, depth)
+	case physVectorized:
+		r.renderVectorized(plan.vec, depth)
+		return nil
 	}
 	return r.renderLogical(buildLogical(s), s, depth)
+}
+
+// renderVectorized renders the columnar batch pipeline (vecexec.go).
+func (r *planRenderer) renderVectorized(p *vecPlan, depth int) {
+	s := p.sel
+	if s.Limit != nil || s.Offset != nil {
+		var parts []string
+		if s.Limit != nil {
+			parts = append(parts, exprString(s.Limit))
+		}
+		if s.Offset != nil {
+			parts = append(parts, "offset "+exprString(s.Offset))
+		}
+		r.node(depth, fmt.Sprintf("Limit (%s)", strings.Join(parts, ", ")))
+		depth++
+	}
+	switch p.mode {
+	case vecAggMode:
+		label := "Vectorized Aggregate"
+		if len(s.GroupBy) > 0 {
+			keys := make([]string, len(s.GroupBy))
+			for i, g := range s.GroupBy {
+				keys[i] = exprString(g)
+			}
+			label = "Vectorized HashAggregate (group by: " + strings.Join(keys, ", ") + ")"
+		}
+		r.node(depth, label)
+		if s.Having != nil {
+			r.detail(depth, "Having: "+exprString(s.Having))
+		}
+		depth++
+	case vecWindowMode:
+		r.node(depth, "Vectorized WindowAgg")
+		for _, f := range p.rawCalls {
+			r.detail(depth, "Window: "+exprString(f))
+		}
+		depth++
+	}
+	rowsEq := "rows="
+	if p.analyzed {
+		rowsEq = "rows≈"
+	}
+	r.node(depth, fmt.Sprintf("Vectorized Seq Scan on %s  (batch=%d, %s%d)",
+		p.table.Name, vecBatchSize, rowsEq, p.tableRows))
+	if s.Where != nil {
+		r.detail(depth, "Filter: "+exprString(s.Where))
+	}
 }
 
 // renderOps renders the streaming operator pipeline top-down, mirroring its
@@ -421,6 +471,48 @@ func (r *planRenderer) renderWriteScan(table string, where Expr) {
 	r.renderAccess(ap, t.Name, "", where, "Filter", false, 0, 1)
 }
 
+// windowSpecString renders the inside of an OVER (...) clause.
+func windowSpecString(w *WindowSpec) string {
+	var parts []string
+	if len(w.PartitionBy) > 0 {
+		keys := make([]string, len(w.PartitionBy))
+		for i, e := range w.PartitionBy {
+			keys[i] = exprString(e)
+		}
+		parts = append(parts, "PARTITION BY "+strings.Join(keys, ", "))
+	}
+	if len(w.OrderBy) > 0 {
+		keys := make([]string, len(w.OrderBy))
+		for i, k := range w.OrderBy {
+			keys[i] = exprString(k.Expr)
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		parts = append(parts, "ORDER BY "+strings.Join(keys, ", "))
+	}
+	if w.Frame != nil {
+		parts = append(parts, "ROWS BETWEEN "+frameBoundString(w.Frame.Start)+
+			" AND "+frameBoundString(w.Frame.End))
+	}
+	return strings.Join(parts, " ")
+}
+
+func frameBoundString(b FrameBound) string {
+	switch b.Kind {
+	case frameUnboundedPreceding:
+		return "UNBOUNDED PRECEDING"
+	case frameOffsetPreceding:
+		return fmt.Sprintf("%d PRECEDING", b.Offset)
+	case frameCurrentRow:
+		return "CURRENT ROW"
+	case frameOffsetFollowing:
+		return fmt.Sprintf("%d FOLLOWING", b.Offset)
+	default:
+		return "UNBOUNDED FOLLOWING"
+	}
+}
+
 // probeString renders an index probe condition.
 func probeString(p *indexProbe) string {
 	if p.eq != nil {
@@ -471,18 +563,24 @@ func exprString(e Expr) string {
 		}
 		return x.Op + exprString(x.X)
 	case *FuncExpr:
+		var call string
 		if x.Star {
-			return strings.ToLower(x.Name) + "(*)"
+			call = strings.ToLower(x.Name) + "(*)"
+		} else {
+			args := make([]string, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = exprString(a)
+			}
+			prefix := ""
+			if x.Distinct {
+				prefix = "DISTINCT "
+			}
+			call = strings.ToLower(x.Name) + "(" + prefix + strings.Join(args, ", ") + ")"
 		}
-		args := make([]string, len(x.Args))
-		for i, a := range x.Args {
-			args[i] = exprString(a)
+		if x.Over != nil {
+			call += " OVER (" + windowSpecString(x.Over) + ")"
 		}
-		prefix := ""
-		if x.Distinct {
-			prefix = "DISTINCT "
-		}
-		return strings.ToLower(x.Name) + "(" + prefix + strings.Join(args, ", ") + ")"
+		return call
 	case *CastExpr:
 		return exprString(x.X) + "::" + x.Type
 	case *InExpr:

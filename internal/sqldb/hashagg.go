@@ -201,7 +201,7 @@ func collectAggSpecs(s *SelectStmt) ([]*aggSpec, bool) {
 	walk := func(e Expr) {
 		walkExpr(e, func(x Expr) bool {
 			f, ok := x.(*FuncExpr)
-			if !ok || !isAggregateName(f.Name) {
+			if !ok || !isAggregateName(f.Name) || f.Over != nil {
 				return valid
 			}
 			name := strings.ToLower(f.Name)
@@ -297,12 +297,18 @@ func newHashAggStream(cx *evalCtx, src RowStream, sources []sourceInfo, sel *Sel
 func (h *hashAggStream) Columns() []Column { return h.cols }
 
 func (h *hashAggStream) newGroup(keyVals []variant.Value) *aggGroup {
+	return newAggGroup(h.specs, keyVals)
+}
+
+// newAggGroup builds a fresh group with one accumulator per spec; shared by
+// the row-at-a-time and vectorized aggregate executors.
+func newAggGroup(specs []*aggSpec, keyVals []variant.Value) *aggGroup {
 	g := &aggGroup{
 		keyVals: keyVals,
-		accums:  make([]aggAccum, len(h.specs)),
-		seen:    make([]map[string]bool, len(h.specs)),
+		accums:  make([]aggAccum, len(specs)),
+		seen:    make([]map[string]bool, len(specs)),
 	}
-	for i, sp := range h.specs {
+	for i, sp := range specs {
 		acc, _ := newAggAccum(sp.name)
 		g.accums[i] = acc
 		if sp.fn.Distinct {

@@ -126,6 +126,11 @@ func (db *DB) planOperators(s *SelectStmt) *opPlan {
 	if db.planner.DisableStreamingExec || len(s.From) == 0 {
 		return nil
 	}
+	// Window functions run on the materializing executor (the reference
+	// path) or the vectorized pipeline, never the row operators.
+	if selectHasWindows(s) {
+		return nil
+	}
 	for i, item := range s.From {
 		// LATERAL re-evaluates per outer row; function scans beyond the
 		// first item are implicitly lateral. Both stay on the executor.

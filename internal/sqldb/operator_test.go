@@ -51,7 +51,7 @@ func runBoth(t *testing.T, db *DB, sql string, args ...any) (stream, mat *Result
 	t.Helper()
 	stream = mustQuery(t, db, sql, args...)
 	old := db.planner
-	db.SetPlannerOptions(PlannerOptions{DisableStreamingExec: true, MaxScanWorkers: old.MaxScanWorkers, ParallelMinRows: old.ParallelMinRows})
+	db.SetPlannerOptions(PlannerOptions{DisableStreamingExec: true, DisableVectorized: true, MaxScanWorkers: old.MaxScanWorkers, ParallelMinRows: old.ParallelMinRows})
 	mat = mustQuery(t, db, sql, args...)
 	db.SetPlannerOptions(old)
 	return stream, mat
@@ -348,11 +348,18 @@ func TestScalarAggregateOnEmptyInput(t *testing.T) {
 
 	// The streaming hash aggregation must create the implicit group even
 	// when build() consumes zero rows.
-	db.SetPlannerOptions(PlannerOptions{})
+	db.SetPlannerOptions(PlannerOptions{DisableVectorized: true})
 	if k := planKind(t, db, q); k != physOps {
 		t.Fatalf("plan kind = %v, want physOps", k)
 	}
 	check(mustQuery(t, db, q), "streaming")
+
+	// As must the vectorized aggregate.
+	db.SetPlannerOptions(PlannerOptions{})
+	if k := planKind(t, db, q); k != physVectorized {
+		t.Fatalf("plan kind = %v, want physVectorized", k)
+	}
+	check(mustQuery(t, db, q), "vectorized")
 
 	// And through a join that produces no rows.
 	mustExec(t, db, `CREATE TABLE other (x integer)`)
@@ -361,6 +368,9 @@ func TestScalarAggregateOnEmptyInput(t *testing.T) {
 
 func TestStreamingAggregateSemantics(t *testing.T) {
 	db := New()
+	// Pin the streaming operator pipeline: this suite exercises physOps, not
+	// the vectorized aggregate that would otherwise claim these statements.
+	db.SetPlannerOptions(PlannerOptions{DisableVectorized: true})
 	mustExec(t, db, `CREATE TABLE m (grp text, v integer, f float)`)
 	rows := []struct {
 		grp any

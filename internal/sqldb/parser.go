@@ -1170,6 +1170,17 @@ func (p *sqlParser) parsePrimary() (Expr, error) {
 			if err := p.expectSymbol(")"); err != nil {
 				return nil, err
 			}
+			// OVER is contextual (it lexes as a plain identifier): only a
+			// following "(" makes it a window clause rather than an alias.
+			if p.cur().kind == tIdent && p.cur().text == "over" &&
+				p.toks[p.pos+1].kind == tSymbol && p.toks[p.pos+1].text == "(" {
+				p.next()
+				over, err := p.parseWindowSpec()
+				if err != nil {
+					return nil, err
+				}
+				fe.Over = over
+			}
 			return fe, nil
 		}
 		if p.atSymbol(".") {
@@ -1196,6 +1207,135 @@ func (p *sqlParser) parsePrimary() (Expr, error) {
 	default:
 		return nil, parseErr(t.pos, "expected expression, found %s", t)
 	}
+}
+
+// acceptIdentWord consumes the current token when it is the given contextual
+// word — an identifier that acts as a keyword only inside a window spec
+// (partition, rows, unbounded, preceding, following, current, row).
+func (p *sqlParser) acceptIdentWord(w string) bool {
+	if t := p.cur(); t.kind == tIdent && t.text == w {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// parseWindowSpec parses the parenthesised body of an OVER clause:
+//
+//	( [PARTITION BY exprs] [ORDER BY items] [ROWS frame] )
+func (p *sqlParser) parseWindowSpec() (*WindowSpec, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	ws := &WindowSpec{}
+	if p.acceptIdentWord("partition") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ws.PartitionBy = append(ws.PartitionBy, e)
+			if p.atSymbol(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			ws.OrderBy = append(ws.OrderBy, item)
+			if p.atSymbol(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptIdentWord("rows") {
+		f := &WindowFrame{}
+		if p.atKeyword("between") {
+			p.next()
+			start, err := p.parseFrameBound()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("and"); err != nil {
+				return nil, err
+			}
+			end, err := p.parseFrameBound()
+			if err != nil {
+				return nil, err
+			}
+			f.Start, f.End = start, end
+		} else {
+			start, err := p.parseFrameBound()
+			if err != nil {
+				return nil, err
+			}
+			f.Start = start
+			f.End = FrameBound{Kind: frameCurrentRow}
+		}
+		if f.Start.Kind > f.End.Kind {
+			return nil, parseErr(p.cur().pos, "window frame start cannot follow its end")
+		}
+		ws.Frame = f
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
+// parseFrameBound parses one endpoint of a ROWS frame.
+func (p *sqlParser) parseFrameBound() (FrameBound, error) {
+	t := p.cur()
+	switch {
+	case p.acceptIdentWord("unbounded"):
+		if p.acceptIdentWord("preceding") {
+			return FrameBound{Kind: frameUnboundedPreceding}, nil
+		}
+		if p.acceptIdentWord("following") {
+			return FrameBound{Kind: frameUnboundedFollowing}, nil
+		}
+		return FrameBound{}, parseErr(p.cur().pos, "expected PRECEDING or FOLLOWING after UNBOUNDED")
+	case p.acceptIdentWord("current"):
+		if !p.acceptIdentWord("row") {
+			return FrameBound{}, parseErr(p.cur().pos, "expected ROW after CURRENT")
+		}
+		return FrameBound{Kind: frameCurrentRow}, nil
+	case t.kind == tNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return FrameBound{}, parseErr(t.pos, "invalid frame offset %q", t.text)
+		}
+		p.next()
+		if p.acceptIdentWord("preceding") {
+			return FrameBound{Kind: frameOffsetPreceding, Offset: n}, nil
+		}
+		if p.acceptIdentWord("following") {
+			return FrameBound{Kind: frameOffsetFollowing, Offset: n}, nil
+		}
+		return FrameBound{}, parseErr(p.cur().pos, "expected PRECEDING or FOLLOWING after frame offset")
+	}
+	return FrameBound{}, parseErr(t.pos, "expected window frame bound")
 }
 
 func (p *sqlParser) parseCase() (Expr, error) {

@@ -194,6 +194,10 @@ type PlannerOptions struct {
 	// ParallelMinRows is the table size below which scans stay serial;
 	// 0 means the default (50000).
 	ParallelMinRows int
+	// DisableVectorized keeps the analytical class on the row-at-a-time
+	// executors — the differential-testing knob that cross-checks the
+	// vectorized batch executor (vecexec.go) against them.
+	DisableVectorized bool
 }
 
 const (
@@ -414,6 +418,10 @@ const (
 	// physMaterialize: everything else (UDF-bearing expressions, LATERAL,
 	// stddev, …) — the materializing executor.
 	physMaterialize
+	// physVectorized: single-table analytical statements (filtered scans,
+	// hash aggregation, window functions) running over columnar batches with
+	// compiled per-type kernels (vecexec.go).
+	physVectorized
 )
 
 // physPlan is one compiled physical plan. It pins the table and index
@@ -438,10 +446,16 @@ type physPlan struct {
 
 	// physOps field: the streaming operator pipeline (operator.go).
 	ops *opPlan
+
+	// physVectorized field: the columnar batch plan (vecexec.go).
+	vec *vecPlan
 }
 
 // planSelect builds the physical plan for s under the held database lock.
 func (db *DB) planSelect(s *SelectStmt) (*physPlan, error) {
+	if vp := db.planVectorized(s); vp != nil {
+		return &physPlan{kind: physVectorized, sel: s, vec: vp}, nil
+	}
 	if !streamableSelect(s) {
 		// The join/aggregate/sort class streams through the operator
 		// pipeline when it qualifies; otherwise it materializes.

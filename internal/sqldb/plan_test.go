@@ -194,6 +194,47 @@ func TestStmtPlanPhase(t *testing.T) {
 	}
 }
 
+// TestStmtExecutorKind: ExecutorKind names the physical executor a SELECT
+// resolves to, tracks planner-option changes, and reports "" for
+// non-SELECTs.
+func TestStmtExecutorKind(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE ek (x integer, g text)`)
+	mustExec(t, db, `INSERT INTO ek VALUES (1, 'a'), (2, 'b')`)
+
+	kinds := func(sql string) string {
+		t.Helper()
+		stmt, err := db.Prepare(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stmt.Close()
+		k, err := stmt.ExecutorKind()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if k := kinds(`SELECT g, sum(x) FROM ek GROUP BY g`); k != "vectorized" {
+		t.Errorf("grouped aggregate executor = %q, want vectorized", k)
+	}
+	if k := kinds(`SELECT g, sum(x) FROM ek GROUP BY g ORDER BY g`); k == "vectorized" {
+		t.Errorf("ORDER BY should not plan vectorized, got %q", k)
+	}
+	ins, err := db.Prepare(`INSERT INTO ek VALUES (3, 'c')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	if k, err := ins.ExecutorKind(); err != nil || k != "" {
+		t.Errorf("non-SELECT executor = %q, %v; want \"\"", k, err)
+	}
+	db.SetPlannerOptions(PlannerOptions{DisableVectorized: true})
+	if k := kinds(`SELECT g, sum(x) FROM ek GROUP BY g`); k == "vectorized" {
+		t.Errorf("DisableVectorized still reports vectorized")
+	}
+}
+
 // TestPlanCacheDisabled: with the cache off, every execution replans — and
 // stays correct across DDL.
 func TestPlanCacheDisabled(t *testing.T) {

@@ -100,6 +100,42 @@ func (s *Stmt) Plan() error {
 	return err
 }
 
+// ExecutorKind resolves the statement's physical plan and names the
+// executor it will run on: "vectorized", "compiled", "stream", "operators",
+// or "materialize". Non-SELECT statements report "". The pgfmu shell
+// surfaces this next to \timing so a user can see whether an analytical
+// query took the vectorized path.
+func (s *Stmt) ExecutorKind() (string, error) {
+	if s.closed.Load() {
+		return "", ErrClosed
+	}
+	sel, ok := s.cp.stmt.(*SelectStmt)
+	if !ok {
+		return "", nil
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	if s.db.closed {
+		return "", ErrClosed
+	}
+	plan, err := s.cp.physFor(s.db, sel)
+	if err != nil {
+		return "", err
+	}
+	switch plan.kind {
+	case physVectorized:
+		return "vectorized", nil
+	case physCompiled:
+		return "compiled", nil
+	case physStream:
+		return "stream", nil
+	case physOps:
+		return "operators", nil
+	default:
+		return "materialize", nil
+	}
+}
+
 // Exec executes the prepared statement for its side effects, returning the
 // affected row count.
 func (s *Stmt) Exec(args ...any) (int, error) {

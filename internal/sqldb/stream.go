@@ -31,7 +31,7 @@ func streamableSelect(s *SelectStmt) bool {
 	if s.Distinct || len(s.GroupBy) > 0 || s.Having != nil || len(s.OrderBy) > 0 {
 		return false
 	}
-	if selectHasAggregates(s) {
+	if selectHasAggregates(s) || selectHasWindows(s) {
 		return false
 	}
 	if len(s.From) > 1 {
@@ -162,6 +162,14 @@ func (db *DB) buildSelectStream(cx *evalCtx, s *SelectStmt) (RowStream, error) {
 	// Detach the evaluation context: the tail must not inherit transaction
 	// bookkeeping (physLog) or a scope bound while the lock was held.
 	tailCx := &evalCtx{db: db, params: cx.params, ctx: cx.ctx}
+	// A FROM-clause source that exposes columnar batches (fmu_simulate's
+	// trajectory frames) feeds the vectorized tail directly when the filter
+	// and projections vec-compile, skipping per-cell boxing of dropped lanes.
+	if !db.planner.DisableVectorized && len(s.From) == 1 && s.From[0].Func != nil && s.Where != nil {
+		if vs := newVecFuncScanStream(tailCx, src, sources[0], s, cols, exprs, offset, limit); vs != nil {
+			return vs, nil
+		}
+	}
 	return &selectStream{
 		cx:      tailCx,
 		src:     src,

@@ -1,0 +1,1228 @@
+package sqldb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/variant"
+)
+
+// Vectorized batch execution. Three statement classes of the single-table
+// analytical kind run over columnar batches (vector.go) with compiled
+// per-type kernels (veccompile.go):
+//
+//   - scan: WHERE + projection, drained vecBatchSize rows at a time —
+//     filter kernel, selection walk with OFFSET/LIMIT accounting, lazy
+//     projection kernels, and one flat boxing pass per batch;
+//   - aggregate: the filter/key/argument expressions run as kernels and feed
+//     the SAME incremental accumulators (aggAccum) and group-key encoding
+//     (rowKey bytes) the row paths use, so the fold arithmetic and group
+//     identity cannot diverge; group output goes through the shared
+//     grouped-expression evaluator (aggEval);
+//   - window: the input is materialized as one wide batch, window-call
+//     inputs evaluate as kernels, and the shared window evaluator
+//     (evalWindowCall) partitions/sorts/frames exactly as the reference
+//     executor.
+//
+// Eligibility is deliberately a subset of what the row paths accept: any
+// gate failure returns nil and the planner falls through to the compiled,
+// streaming, operator, or materializing strategies unchanged — which also
+// keeps those paths alive as the differential reference.
+
+type vecMode int
+
+const (
+	vecScanMode vecMode = iota
+	vecAggMode
+	vecWindowMode
+)
+
+// vecWinCall is one window call with its input expressions compiled to
+// kernels (argument columns, PARTITION BY, ORDER BY keys).
+type vecWinCall struct {
+	fn    *FuncExpr
+	args  []vecExpr
+	part  []vecExpr
+	order []vecExpr
+	desc  []bool
+}
+
+// vecPlan is the vectorized physical plan for one SELECT. Like physPlan it
+// pins the table pointer and compiled closures and is immutable after
+// planning; every execution gets its own vecEnv, so one plan serves
+// concurrent statements.
+type vecPlan struct {
+	mode    vecMode
+	sel     *SelectStmt
+	table   *Table
+	sources []sourceInfo
+	srcCols []Column
+	// EXPLAIN annotations from the chosen (sequential) access path.
+	tableRows int
+	analyzed  bool
+	// baseKinds maps each base-table column to its vector representation;
+	// vc.wanted (aligned with the compiler's offset space) marks which ones
+	// the kernels actually read.
+	baseKinds []vecKind
+	vc        *vecCompiler
+	filter    vecExpr // full WHERE; nil when absent
+	cols      []Column
+	projs     []vecExpr // scan and window modes
+	// projRefs (scan mode) short-circuits plain column projections: entry i
+	// holds the source offset when projs[i] is a bare ColumnRef — the emit
+	// walk then reads the already-boxed cell straight from the heap row,
+	// skipping both the column's transposition and its re-boxing. -1 runs
+	// the compiled kernel.
+	projRefs []int
+	limitC   compiledExpr
+	offsetC  compiledExpr
+
+	// vecAggMode:
+	specs    []*aggSpec
+	keyExprs []vecExpr
+	argExprs []vecExpr // aligned with specs; nil for count(*)
+	aggExprs []Expr    // projection ASTs for the shared grouped evaluator
+
+	// vecWindowMode:
+	rawCalls []*FuncExpr
+	winCalls []vecWinCall
+}
+
+// planVectorized decides whether s runs on the vectorized executor and
+// compiles its plan; nil falls through to the other strategies. Caller holds
+// the database lock (either mode).
+func (db *DB) planVectorized(s *SelectStmt) *vecPlan {
+	if db.planner.DisableVectorized {
+		return nil
+	}
+	if len(s.From) != 1 {
+		return nil
+	}
+	item := s.From[0]
+	if item.Table == "" || item.On != nil {
+		return nil
+	}
+	if s.Distinct || len(s.OrderBy) > 0 {
+		return nil
+	}
+	if !vecPureBuiltin(s) {
+		return nil
+	}
+	hasWin := selectHasWindows(s)
+	hasAgg := len(s.GroupBy) > 0 || selectHasAggregates(s)
+	if hasWin && hasAgg {
+		return nil // the executor raises the mixing error
+	}
+	if s.Having != nil && !hasAgg {
+		return nil
+	}
+	t, ok := db.tables.get(item.Table)
+	if !ok {
+		return nil // the fallback paths surface ErrNoSuchTable
+	}
+	info, err := fromItemInfo(item, t.Columns)
+	if err != nil {
+		return nil
+	}
+
+	// Indexable predicates stay on the probing paths — the vectorized scan
+	// only ever replaces a full sequential scan (column aliases rename WHERE
+	// references away from indexed names, same rule as the compiled path).
+	var access accessPath
+	if s.Where != nil && len(item.ColAliases) == 0 {
+		access = chooseAccessPath(db, t, info.alias, s.Where)
+	} else {
+		access = chooseAccessPath(db, t, info.alias, nil)
+	}
+	if access.kind != accessSeq {
+		return nil
+	}
+
+	p := &vecPlan{
+		sel: s, table: t, srcCols: info.columns, sources: []sourceInfo{info},
+		tableRows: access.tableRows, analyzed: access.analyzed,
+	}
+	switch {
+	case hasWin:
+		p.mode = vecWindowMode
+	case hasAgg:
+		p.mode = vecAggMode
+	default:
+		p.mode = vecScanMode
+		if s.Where == nil {
+			// A bare projection scan is already a tight compiled copy loop;
+			// batching would only add transposition cost.
+			return nil
+		}
+		// Large filtered scans without LIMIT/OFFSET belong to the parallel
+		// partitioned scan.
+		if s.Limit == nil && s.Offset == nil &&
+			db.planner.parallelScanWorkers(access.tableRows) > 0 {
+			return nil
+		}
+	}
+
+	srcs := []vecSource{{alias: info.alias, cols: info.columns}}
+	items := s.Items
+	if p.mode == vecWindowMode {
+		if windowsOutsideItems(s) {
+			return nil // the executor raises the placement error
+		}
+		calls, byPtr := collectWindowCalls(s.Items)
+		if len(calls) == 0 {
+			return nil
+		}
+		for _, f := range calls {
+			if err := validateWindowCall(f); err != nil {
+				return nil // identical error surfaces on the reference path
+			}
+		}
+		winCols := make([]Column, len(calls))
+		for i := range calls {
+			winCols[i] = Column{Name: fmt.Sprintf("__w%d", i), Type: "variant"}
+		}
+		items = rewriteWindowItems(s.Items, byPtr, winCols)
+		p.sources = append(p.sources, sourceInfo{
+			alias: windowSourceAlias, columns: winCols, width: len(winCols), hidden: true,
+		})
+		srcs = append(srcs, vecSource{alias: windowSourceAlias, cols: winCols})
+		p.rawCalls = calls
+	}
+
+	vc := newVecCompiler(srcs)
+	p.vc = vc
+	p.baseKinds = make([]vecKind, len(info.columns))
+	for i, c := range info.columns {
+		p.baseKinds[i] = vecKindFor(c.Type)
+	}
+	if s.Where != nil {
+		f, ok := vc.compile(s.Where)
+		if !ok {
+			return nil
+		}
+		p.filter = f
+	}
+
+	switch p.mode {
+	case vecAggMode:
+		specs, ok := collectAggSpecs(s)
+		if !ok {
+			return nil
+		}
+		p.specs = specs
+		p.keyExprs = make([]vecExpr, len(s.GroupBy))
+		for i, ge := range s.GroupBy {
+			ke, ok := vc.compile(ge)
+			if !ok {
+				return nil
+			}
+			p.keyExprs[i] = ke
+		}
+		p.argExprs = make([]vecExpr, len(specs))
+		for i, sp := range specs {
+			if sp.fn.Star {
+				continue
+			}
+			ae, ok := vc.compile(sp.fn.Args[0])
+			if !ok {
+				return nil
+			}
+			p.argExprs[i] = ae
+		}
+		cols, exprs, err := expandItems(s.Items, p.sources)
+		if err != nil {
+			return nil
+		}
+		p.cols = cols
+		p.aggExprs = exprs
+	default:
+		cols, exprs, err := expandItems(items, p.sources)
+		if err != nil {
+			return nil
+		}
+		p.cols = cols
+		p.projs = make([]vecExpr, len(exprs))
+		if p.mode == vecScanMode {
+			p.projRefs = make([]int, len(exprs))
+		}
+		for i, e := range exprs {
+			if p.mode == vecScanMode {
+				p.projRefs[i] = -1
+				if cr, isRef := e.(*ColumnRef); isRef {
+					if off := vc.resolve(cr.Table, cr.Name); off >= 0 {
+						p.projRefs[i] = off
+						continue // read from the heap row, no kernel
+					}
+				}
+			}
+			pe, ok := vc.compile(e)
+			if !ok {
+				return nil
+			}
+			p.projs[i] = pe
+		}
+		if p.mode == vecWindowMode {
+			p.winCalls = make([]vecWinCall, len(p.rawCalls))
+			for ci, f := range p.rawCalls {
+				wc := vecWinCall{fn: f}
+				if !f.Star {
+					for _, a := range f.Args {
+						ve, ok := vc.compile(a)
+						if !ok {
+							return nil
+						}
+						wc.args = append(wc.args, ve)
+					}
+				}
+				for _, pe := range f.Over.PartitionBy {
+					ve, ok := vc.compile(pe)
+					if !ok {
+						return nil
+					}
+					wc.part = append(wc.part, ve)
+				}
+				for _, o := range f.Over.OrderBy {
+					ve, ok := vc.compile(o.Expr)
+					if !ok {
+						return nil
+					}
+					wc.order = append(wc.order, ve)
+					wc.desc = append(wc.desc, o.Desc)
+				}
+				p.winCalls[ci] = wc
+			}
+		}
+	}
+
+	constComp := &compiler{}
+	if s.Limit != nil {
+		ce, ok := constComp.compile(s.Limit)
+		if !ok {
+			return nil
+		}
+		p.limitC = ce
+	}
+	if s.Offset != nil {
+		ce, ok := constComp.compile(s.Offset)
+		if !ok {
+			return nil
+		}
+		p.offsetC = ce
+	}
+	return p
+}
+
+// vecPureBuiltin is selectPureBuiltin extended to accept the window-only
+// functions (row_number, lag, lead) when they carry an OVER clause — those
+// never reach scalar evaluation on the vectorized path.
+func vecPureBuiltin(s *SelectStmt) bool {
+	if selectPureBuiltin(s) {
+		return true
+	}
+	pure := true
+	check := func(e Expr) {
+		walkExpr(e, func(x Expr) bool {
+			f, ok := x.(*FuncExpr)
+			if !ok {
+				return true
+			}
+			lower := strings.ToLower(f.Name)
+			if isAggregateName(lower) || (f.Over != nil && isWindowOnlyName(lower)) {
+				return true
+			}
+			if _, ok := builtinScalars[lower]; !ok {
+				pure = false
+			}
+			return pure
+		})
+	}
+	for _, it := range s.Items {
+		check(it.Expr)
+	}
+	for _, f := range s.From {
+		check(f.On)
+	}
+	check(s.Where)
+	for _, e := range s.GroupBy {
+		check(e)
+	}
+	check(s.Having)
+	for _, o := range s.OrderBy {
+		check(o.Expr)
+	}
+	check(s.Limit)
+	check(s.Offset)
+	return pure
+}
+
+// windowsOutsideItems reports window calls anywhere but the select list
+// (ORDER BY and DISTINCT are gated before this is asked).
+func windowsOutsideItems(s *SelectStmt) bool {
+	found := false
+	check := func(e Expr) {
+		walkExpr(e, func(x Expr) bool {
+			if f, ok := x.(*FuncExpr); ok && f.Over != nil {
+				found = true
+			}
+			return !found
+		})
+	}
+	check(s.Where)
+	check(s.Having)
+	for _, g := range s.GroupBy {
+		check(g)
+	}
+	for _, f := range s.From {
+		check(f.On)
+	}
+	return found
+}
+
+// open resolves the snapshot under the caller-held lock and returns the
+// stream; its lazy tail works only over private data.
+func (p *vecPlan) open(cx *evalCtx) (RowStream, error) {
+	rows := visibleRows(cx, p.table)
+	env := p.vc.newEnv(&compEnv{params: cx.params, ctx: cx.ctx})
+	// Detach grouped/window evaluation from transaction bookkeeping, like
+	// the streaming tails do.
+	tailCx := &evalCtx{db: cx.db, params: cx.params, ctx: cx.ctx}
+	switch p.mode {
+	case vecScanMode, vecAggMode:
+		offset, limit, err := evalLimitsCompiled(env.env, p.offsetC, p.limitC)
+		if err != nil {
+			return nil, err
+		}
+		if p.mode == vecScanMode {
+			return &vecScanStream{env: env, plan: p, rows: rows, offset: offset, limit: limit}, nil
+		}
+		return &vecAggStream{cx: tailCx, env: env, plan: p, rows: rows, offset: offset, limit: limit}, nil
+	default:
+		return &vecWindowStream{cx: tailCx, env: env, plan: p, rows: rows}, nil
+	}
+}
+
+// evalLimitsCompiled resolves compiled LIMIT/OFFSET with the engine's
+// conventions: offset ≤ 0 skips nothing (-1), negative limit is unlimited.
+func evalLimitsCompiled(env *compEnv, offsetC, limitC compiledExpr) (int, int, error) {
+	offset, limit := -1, -1
+	if offsetC != nil {
+		v, err := offsetC(env, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, err := v.AsInt()
+		if err != nil {
+			return 0, 0, fmt.Errorf("sql: OFFSET: %w", err)
+		}
+		if n > 0 {
+			offset = int(n)
+		}
+	}
+	if limitC != nil {
+		v, err := limitC(env, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, err := v.AsInt()
+		if err != nil {
+			return 0, 0, fmt.Errorf("sql: LIMIT: %w", err)
+		}
+		if n >= 0 {
+			limit = int(n)
+		}
+	}
+	return offset, limit, nil
+}
+
+// filterLane classifies one filter-result lane: keep, skip (false/NULL), or
+// error — the compiled stream's per-row WHERE semantics.
+func filterLane(fc *colVec, i int) (bool, error) {
+	if e := fc.laneErr(i); e != nil {
+		return false, e
+	}
+	if fc.kind == vecBool {
+		if fc.isNull(i) {
+			return false, nil
+		}
+		return fc.bools[i], nil
+	}
+	v := fc.value(i)
+	if v.IsNull() {
+		return false, nil
+	}
+	b, err := v.AsBool()
+	if err != nil {
+		return false, err
+	}
+	return b, nil
+}
+
+// boxLanes boxes a whole column, raising the first lane error in row order.
+func boxLanes(c *colVec, n int) ([]variant.Value, error) {
+	out := make([]variant.Value, n)
+	for i := 0; i < n; i++ {
+		if e := c.laneErr(i); e != nil {
+			return nil, e
+		}
+		out[i] = c.value(i)
+	}
+	return out, nil
+}
+
+// --- Scan mode ---
+
+// vecScanStream drains the snapshot batch-wise: transpose the wanted
+// columns, run the filter kernel, walk the selection applying OFFSET/LIMIT,
+// then evaluate projection kernels and box the surviving lanes. Per-lane
+// errors surface in exactly the row order the compiled stream would have hit
+// them — including being discarded entirely when LIMIT exits first.
+type vecScanStream struct {
+	env    *vecEnv
+	plan   *vecPlan
+	rows   []Row
+	pos    int
+	offset int
+	limit  int
+
+	batch  Batch
+	emit   []int
+	pcols  []*colVec
+	out    []Row
+	outPos int
+	pend   error // raised after the current out buffer drains
+	err    error
+	done   bool
+}
+
+func (st *vecScanStream) Columns() []Column { return st.plan.cols }
+
+func (st *vecScanStream) Next() (Row, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	for st.outPos >= len(st.out) {
+		if st.pend != nil {
+			st.err = st.pend
+			return nil, st.err
+		}
+		if st.done {
+			return nil, io.EOF
+		}
+		if err := st.fill(); err != nil {
+			st.err = err
+			return nil, err
+		}
+	}
+	r := st.out[st.outPos]
+	st.outPos++
+	return r, nil
+}
+
+// fill processes the next batch into st.out (possibly empty, possibly with a
+// pending error to raise after the boxed rows are handed out).
+func (st *vecScanStream) fill() error {
+	st.out = st.out[:0]
+	st.outPos = 0
+	if st.limit == 0 || st.pos >= len(st.rows) {
+		st.done = true
+		return nil
+	}
+	if ctx := st.env.env.ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	end := st.pos + vecBatchSize
+	if end > len(st.rows) {
+		end = len(st.rows)
+	}
+	window := st.rows[st.pos:end]
+	st.pos = end
+	p := st.plan
+	st.batch.transposeInto(window, p.baseKinds, p.vc.wanted)
+
+	var fc *colVec
+	if p.filter != nil {
+		c, err := p.filter(st.env, &st.batch)
+		if err != nil {
+			return err
+		}
+		fc = c
+	}
+	st.emit = st.emit[:0]
+	for i := 0; i < st.batch.n && st.limit != 0; i++ {
+		if fc != nil {
+			keep, err := filterLane(fc, i)
+			if err != nil {
+				st.pend = err
+				break
+			}
+			if !keep {
+				continue
+			}
+		}
+		if st.offset > 0 {
+			st.offset--
+			continue
+		}
+		st.emit = append(st.emit, i)
+		if st.limit > 0 {
+			st.limit--
+		}
+	}
+	if len(st.emit) == 0 {
+		return nil
+	}
+	// Projections evaluate lazily — only for batches that emit — so a
+	// row-independent projection error cannot surface on a batch the row
+	// executor would never have projected.
+	if cap(st.pcols) < len(p.projs) {
+		st.pcols = make([]*colVec, len(p.projs))
+	}
+	pcols := st.pcols[:len(p.projs)]
+	for pi, pe := range p.projs {
+		if pe == nil {
+			pcols[pi] = nil // bare column ref: read the heap row directly
+			continue
+		}
+		c, err := pe(st.env, &st.batch)
+		if err != nil {
+			return err
+		}
+		pcols[pi] = c
+	}
+	flat := make([]variant.Value, len(st.emit)*len(pcols))
+	for _, lane := range st.emit {
+		row := flat[:len(pcols):len(pcols)]
+		flat = flat[len(pcols):]
+		for pi, c := range pcols {
+			if c == nil {
+				row[pi] = window[lane][p.projRefs[pi]]
+				continue
+			}
+			if e := c.laneErr(lane); e != nil {
+				// A projection error precedes any later filter-lane error in
+				// row order; boxed rows before it still emit first.
+				st.pend = e
+				return nil
+			}
+			row[pi] = c.value(lane)
+		}
+		st.out = append(st.out, Row(row))
+	}
+	return nil
+}
+
+func (st *vecScanStream) Close() error {
+	st.done = true
+	st.pos = len(st.rows)
+	st.out = nil
+	st.outPos = 0
+	return nil
+}
+
+// --- Function-scan batch drain ---
+
+// newVecFuncScanStream wraps a BatchSource function scan (fmu_simulate's
+// trajectory frames) in a batch-draining filter/projection stream, skipping
+// the per-cell boxing of the row iterator for lanes the filter drops. nil
+// when the expressions don't vec-compile — the caller falls back to the
+// row-at-a-time selectStream.
+func newVecFuncScanStream(cx *evalCtx, src RowStream, info sourceInfo, s *SelectStmt, cols []Column, exprs []Expr, offset, limit int) RowStream {
+	bs, ok := src.(BatchSource)
+	if !ok {
+		return nil
+	}
+	vc := newVecCompiler([]vecSource{{alias: info.alias, cols: info.columns}})
+	filter, ok := vc.compile(s.Where)
+	if !ok {
+		return nil
+	}
+	projs := make([]vecExpr, len(exprs))
+	for i, e := range exprs {
+		pe, ok := vc.compile(e)
+		if !ok {
+			return nil
+		}
+		projs[i] = pe
+	}
+	return &vecFuncScanStream{
+		env:    vc.newEnv(&compEnv{params: cx.params, ctx: cx.ctx}),
+		src:    src,
+		bs:     bs,
+		filter: filter,
+		projs:  projs,
+		cols:   cols,
+		offset: offset,
+		limit:  limit,
+	}
+}
+
+// vecFuncScanStream is vecScanStream over a BatchSource instead of heap
+// rows: same selection walk, lazy projections, and in-order lane-error
+// discipline.
+type vecFuncScanStream struct {
+	env    *vecEnv
+	src    RowStream
+	bs     BatchSource
+	filter vecExpr
+	projs  []vecExpr
+	cols   []Column
+	offset int
+	limit  int
+
+	emit   []int
+	pcols  []*colVec
+	out    []Row
+	outPos int
+	pend   error
+	err    error
+	done   bool
+}
+
+func (st *vecFuncScanStream) Columns() []Column { return st.cols }
+
+func (st *vecFuncScanStream) Next() (Row, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	for st.outPos >= len(st.out) {
+		if st.pend != nil {
+			st.err = st.pend
+			return nil, st.err
+		}
+		if st.done {
+			return nil, io.EOF
+		}
+		if err := st.fill(); err != nil {
+			st.err = err
+			return nil, err
+		}
+	}
+	r := st.out[st.outPos]
+	st.outPos++
+	return r, nil
+}
+
+func (st *vecFuncScanStream) fill() error {
+	st.out = st.out[:0]
+	st.outPos = 0
+	if st.limit == 0 {
+		st.done = true
+		return nil
+	}
+	if ctx := st.env.env.ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	b, err := st.bs.NextBatch(vecBatchSize)
+	if err == io.EOF {
+		st.done = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fc, err := st.filter(st.env, b)
+	if err != nil {
+		return err
+	}
+	st.emit = st.emit[:0]
+	for i := 0; i < b.n && st.limit != 0; i++ {
+		keep, err := filterLane(fc, i)
+		if err != nil {
+			st.pend = err
+			break
+		}
+		if !keep {
+			continue
+		}
+		if st.offset > 0 {
+			st.offset--
+			continue
+		}
+		st.emit = append(st.emit, i)
+		if st.limit > 0 {
+			st.limit--
+		}
+	}
+	if len(st.emit) == 0 {
+		return nil
+	}
+	if cap(st.pcols) < len(st.projs) {
+		st.pcols = make([]*colVec, len(st.projs))
+	}
+	pcols := st.pcols[:len(st.projs)]
+	for pi, pe := range st.projs {
+		c, err := pe(st.env, b)
+		if err != nil {
+			return err
+		}
+		pcols[pi] = c
+	}
+	flat := make([]variant.Value, len(st.emit)*len(pcols))
+	for _, lane := range st.emit {
+		row := flat[:len(pcols):len(pcols)]
+		flat = flat[len(pcols):]
+		for pi, c := range pcols {
+			if e := c.laneErr(lane); e != nil {
+				st.pend = e
+				return nil
+			}
+			row[pi] = c.value(lane)
+		}
+		st.out = append(st.out, Row(row))
+	}
+	return nil
+}
+
+func (st *vecFuncScanStream) Close() error {
+	st.done = true
+	st.out = nil
+	st.outPos = 0
+	return st.src.Close()
+}
+
+// --- Aggregate mode ---
+
+// vecAggStream is the batch-fed twin of hashAggStream: kernels produce the
+// filter/key/argument columns, lanes feed the shared accumulators through
+// the executor's exact group-key byte encoding, and finished groups emit in
+// first-seen order through the shared grouped evaluator with HAVING and
+// OFFSET/LIMIT applied to the output rows.
+type vecAggStream struct {
+	cx     *evalCtx
+	env    *vecEnv
+	plan   *vecPlan
+	rows   []Row
+	offset int
+	limit  int
+
+	built  bool
+	groups []*aggGroup
+	pos    int
+	err    error
+	closed bool
+}
+
+func (st *vecAggStream) Columns() []Column { return st.plan.cols }
+
+func (st *vecAggStream) Next() (Row, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	if st.closed || st.limit == 0 {
+		return nil, io.EOF
+	}
+	fail := func(err error) (Row, error) {
+		st.err = err
+		return nil, err
+	}
+	if !st.built {
+		st.built = true
+		if err := st.build(); err != nil {
+			return fail(err)
+		}
+	}
+	p := st.plan
+	for st.pos < len(st.groups) {
+		g := st.groups[st.pos]
+		st.pos++
+		vals := make([]variant.Value, len(p.specs))
+		for i, acc := range g.accums {
+			v, err := acc.result()
+			if err != nil {
+				return fail(err)
+			}
+			vals[i] = v
+		}
+		ge := &aggEval{
+			cx:      st.cx,
+			sources: p.sources,
+			groupBy: p.sel.GroupBy,
+			keyVals: g.keyVals,
+			specs:   p.specs,
+			vals:    vals,
+			first:   g.first,
+		}
+		if p.sel.Having != nil {
+			v, err := ge.eval(p.sel.Having)
+			if err != nil {
+				return fail(err)
+			}
+			if v.IsNull() {
+				continue
+			}
+			ok, err := v.AsBool()
+			if err != nil {
+				return fail(err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		row := make(Row, len(p.aggExprs))
+		for i, e := range p.aggExprs {
+			v, err := ge.eval(e)
+			if err != nil {
+				return fail(err)
+			}
+			row[i] = v
+		}
+		if st.offset > 0 {
+			st.offset--
+			continue
+		}
+		if st.limit > 0 {
+			st.limit--
+		}
+		return row, nil
+	}
+	return nil, io.EOF
+}
+
+// build consumes the snapshot batch-wise into per-group accumulators.
+func (st *vecAggStream) build() error {
+	p := st.plan
+	groupBy := p.sel.GroupBy
+	index := make(map[string]int)
+	var keyScratch []byte
+	keyValsBuf := make([]variant.Value, len(groupBy))
+	var implicit *aggGroup
+	if len(groupBy) == 0 {
+		// One implicit group, present even on empty input.
+		implicit = newAggGroup(p.specs, nil)
+		st.groups = append(st.groups, implicit)
+	}
+	var batch Batch
+	sel := make([]int, 0, vecBatchSize)
+	keyCols := make([]*colVec, len(p.keyExprs))
+	argCols := make([]*colVec, len(p.specs))
+
+	for pos := 0; pos < len(st.rows); pos += vecBatchSize {
+		end := pos + vecBatchSize
+		if end > len(st.rows) {
+			end = len(st.rows)
+		}
+		if st.cx.ctx != nil {
+			if err := st.cx.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		batch.transposeInto(st.rows[pos:end], p.baseKinds, p.vc.wanted)
+
+		// Selection: lanes passing WHERE, stopping at the first filter-lane
+		// error — whose selected predecessors still feed (and may surface
+		// their own, earlier, errors first).
+		sel = sel[:0]
+		var pend error
+		if p.filter == nil {
+			for i := 0; i < batch.n; i++ {
+				sel = append(sel, i)
+			}
+		} else {
+			fc, err := p.filter(st.env, &batch)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < batch.n; i++ {
+				keep, err := filterLane(fc, i)
+				if err != nil {
+					pend = err
+					break
+				}
+				if keep {
+					sel = append(sel, i)
+				}
+			}
+		}
+		if len(sel) > 0 {
+			for ki, ke := range p.keyExprs {
+				c, err := ke(st.env, &batch)
+				if err != nil {
+					return err
+				}
+				keyCols[ki] = c
+			}
+			for si, ae := range p.argExprs {
+				if ae == nil {
+					argCols[si] = nil
+					continue
+				}
+				c, err := ae(st.env, &batch)
+				if err != nil {
+					return err
+				}
+				argCols[si] = c
+			}
+			for _, lane := range sel {
+				g := implicit
+				if g == nil {
+					// Encode the group key with rowKey's exact bytes; the
+					// string(keyScratch) map lookup does not allocate.
+					keyScratch = keyScratch[:0]
+					for ki, c := range keyCols {
+						if e := c.laneErr(lane); e != nil {
+							return e
+						}
+						v := c.value(lane)
+						keyValsBuf[ki] = v
+						keyScratch = append(keyScratch, v.Kind().String()...)
+						keyScratch = append(keyScratch, ':')
+						keyScratch = append(keyScratch, v.String()...)
+						keyScratch = append(keyScratch, 0)
+					}
+					gi, ok := index[string(keyScratch)]
+					if !ok {
+						gi = len(st.groups)
+						index[string(keyScratch)] = gi
+						st.groups = append(st.groups,
+							newAggGroup(p.specs, append([]variant.Value(nil), keyValsBuf...)))
+					}
+					g = st.groups[gi]
+				}
+				if g.first == nil {
+					g.first = batch.rows[lane]
+				}
+				for si, sp := range p.specs {
+					if sp.fn.Star {
+						g.accums[si].(*countAccum).n++
+						continue
+					}
+					c := argCols[si]
+					if e := c.laneErr(lane); e != nil {
+						return e
+					}
+					v := c.value(lane)
+					if v.IsNull() {
+						continue
+					}
+					if sp.fn.Distinct {
+						key := v.Kind().String() + ":" + v.String()
+						if g.seen[si][key] {
+							continue
+						}
+						g.seen[si][key] = true
+					}
+					if err := g.accums[si].add(v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if pend != nil {
+			return pend
+		}
+	}
+	return nil
+}
+
+func (st *vecAggStream) Close() error {
+	st.closed = true
+	st.groups = nil
+	st.pos = 0
+	return nil
+}
+
+// --- Window mode ---
+
+// vecWindowStream materializes the statement like the reference executor —
+// WHERE over all rows, window calls as synthetic columns, projection, then
+// OFFSET/LIMIT slicing — but evaluates every expression column as a kernel
+// over one wide batch and shares evalWindowCall for the window semantics.
+type vecWindowStream struct {
+	cx     *evalCtx
+	env    *vecEnv
+	plan   *vecPlan
+	rows   []Row
+	built  bool
+	out    []Row
+	pos    int
+	err    error
+	closed bool
+}
+
+func (st *vecWindowStream) Columns() []Column { return st.plan.cols }
+
+func (st *vecWindowStream) Next() (Row, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	if st.closed {
+		return nil, io.EOF
+	}
+	if !st.built {
+		st.built = true
+		out, err := st.build()
+		if err != nil {
+			st.err = err
+			return nil, err
+		}
+		st.out = out
+	}
+	if st.pos < len(st.out) {
+		r := st.out[st.pos]
+		st.pos++
+		return r, nil
+	}
+	return nil, io.EOF
+}
+
+func (st *vecWindowStream) build() ([]Row, error) {
+	p := st.plan
+	baseW := len(p.srcCols)
+	baseWanted := p.vc.wanted[:baseW]
+
+	// WHERE over every input row; the first error is fatal before anything
+	// emits, exactly like the materializing executor's filter phase.
+	fr := st.rows
+	if p.filter != nil {
+		var all Batch
+		all.transposeInto(st.rows, p.baseKinds, baseWanted)
+		fc, err := p.filter(st.env, &all)
+		if err != nil {
+			return nil, err
+		}
+		keep := make([]Row, 0, len(st.rows))
+		for i := 0; i < all.n; i++ {
+			k, err := filterLane(fc, i)
+			if err != nil {
+				return nil, err
+			}
+			if k {
+				keep = append(keep, st.rows[i])
+			}
+		}
+		fr = keep
+	}
+	m := len(fr)
+
+	var fb Batch
+	fb.transposeInto(fr, p.baseKinds, baseWanted)
+
+	// Window calls: kernel-evaluated input columns into the shared window
+	// evaluator.
+	winVals := make([][]variant.Value, len(p.winCalls))
+	for ci := range p.winCalls {
+		call := &p.winCalls[ci]
+		in := &windowInput{fn: call.fn, name: strings.ToLower(call.fn.Name), desc: call.desc}
+		evalCol := func(ve vecExpr) ([]variant.Value, error) {
+			c, err := ve(st.env, &fb)
+			if err != nil {
+				return nil, err
+			}
+			return boxLanes(c, m)
+		}
+		for _, a := range call.args {
+			col, err := evalCol(a)
+			if err != nil {
+				return nil, err
+			}
+			in.args = append(in.args, col)
+		}
+		for _, pe := range call.part {
+			col, err := evalCol(pe)
+			if err != nil {
+				return nil, err
+			}
+			in.part = append(in.part, col)
+		}
+		for _, oe := range call.order {
+			col, err := evalCol(oe)
+			if err != nil {
+				return nil, err
+			}
+			in.order = append(in.order, col)
+		}
+		col, err := evalWindowCall(st.cx, in, m)
+		if err != nil {
+			return nil, err
+		}
+		winVals[ci] = col
+	}
+
+	// Extend the batch with the window-value columns; the combined rows back
+	// the row-compiled fallbacks (base row ++ window values, matching the
+	// compiler's extra-source offsets).
+	cr := make([]Row, m)
+	for i := 0; i < m; i++ {
+		r := make(Row, 0, baseW+len(p.winCalls))
+		r = append(r, fr[i]...)
+		for ci := range p.winCalls {
+			r = append(r, winVals[ci][i])
+		}
+		cr[i] = r
+	}
+	fb.rows = cr
+	fb.cols = fb.cols[:baseW]
+	for ci := range p.winCalls {
+		fb.cols = append(fb.cols, colVec{kind: vecAny, anys: winVals[ci]})
+	}
+
+	pcols := make([]*colVec, len(p.projs))
+	for pi, pe := range p.projs {
+		c, err := pe(st.env, &fb)
+		if err != nil {
+			return nil, err
+		}
+		pcols[pi] = c
+	}
+	out := make([]Row, 0, m)
+	flat := make([]variant.Value, m*len(pcols))
+	for i := 0; i < m; i++ {
+		row := flat[:len(pcols):len(pcols)]
+		flat = flat[len(pcols):]
+		for pi, c := range pcols {
+			if e := c.laneErr(i); e != nil {
+				return nil, e
+			}
+			row[pi] = c.value(i)
+		}
+		out = append(out, Row(row))
+	}
+
+	// OFFSET/LIMIT slice the materialized result, evaluated after the
+	// computation like the reference executor.
+	env := st.env.env
+	if p.offsetC != nil {
+		v, err := p.offsetC(env, nil)
+		if err != nil {
+			return nil, err
+		}
+		n, err := v.AsInt()
+		if err != nil {
+			return nil, fmt.Errorf("sql: OFFSET: %w", err)
+		}
+		if n < 0 {
+			n = 0
+		}
+		if int(n) >= len(out) {
+			out = nil
+		} else {
+			out = out[n:]
+		}
+	}
+	if p.limitC != nil {
+		v, err := p.limitC(env, nil)
+		if err != nil {
+			return nil, err
+		}
+		n, err := v.AsInt()
+		if err != nil {
+			return nil, fmt.Errorf("sql: LIMIT: %w", err)
+		}
+		if n >= 0 && int(n) < len(out) {
+			out = out[:n]
+		}
+	}
+	return out, nil
+}
+
+func (st *vecWindowStream) Close() error {
+	st.closed = true
+	st.out = nil
+	st.pos = 0
+	return nil
+}
