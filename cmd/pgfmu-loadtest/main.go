@@ -30,6 +30,7 @@ func main() {
 		read     = flag.Int("read", loadtest.DefaultMix.Read, "read weight")
 		write    = flag.Int("write", loadtest.DefaultMix.Write, "write weight")
 		fmu      = flag.Int("fmu", loadtest.DefaultMix.FMU, "fmu-simulate weight")
+		jobs     = flag.Int("jobs", loadtest.DefaultMix.Jobs, "async-job weight (fmu_submit + poll)")
 		seed     = flag.Int64("seed", 1, "workload rng seed")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
@@ -44,7 +45,7 @@ func main() {
 		Token:    *token,
 		Clients:  *clients,
 		Duration: *duration,
-		Mix:      loadtest.Mix{Read: *read, Write: *write, FMU: *fmu},
+		Mix:      loadtest.Mix{Read: *read, Write: *write, FMU: *fmu, Jobs: *jobs},
 		Seed:     *seed,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -87,7 +87,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("pgFMU shell (%s) — FMU model management over SQL. \\q quits, \\d lists tables, \\timing toggles timing, \\explain shows plans, \\i runs a file.\n", mode)
+	fmt.Printf("pgFMU shell (%s) — FMU model management over SQL. \\q quits, \\d lists tables, \\timing toggles timing, \\explain shows plans, \\jobs shows async jobs, \\i runs a file.\n", mode)
 	sh.run(os.Stdin, true)
 }
 
@@ -172,6 +172,9 @@ func (sh *shell) meta(cmd string) bool {
 		} else {
 			fmt.Fprintln(sh.out, "Timing is on (parse / plan / execute).")
 		}
+	case `\jobs`:
+		// Async job queue: state/progress of fmu_submit/fmu_sweep work.
+		sh.exec(`SELECT * FROM fmu_jobs()`)
 	case `\explain`:
 		arg = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(arg), ";"))
 		if arg == "" {

@@ -114,6 +114,10 @@ func (s *Session) parestLocked(ctx context.Context, instanceIDs, inputSQLs, pars
 				return nil, err
 			}
 		}
+		// Recalibration changes what the instance computes: drop its cached
+		// trajectories (content addressing already keys on the new values;
+		// this keeps dead frames from occupying LRU slots).
+		s.simcache.invalidateInstance(id)
 		out[i] = ParestResult{
 			InstanceID:    id,
 			RMSE:          r.RMSE,

@@ -45,12 +45,12 @@ func (s *Session) Dump(w io.Writer) error {
 // dumped pgFMU catalogue: FMUs are re-read from fmustorage and every
 // catalogued instance is re-instantiated with its persisted variable values.
 func RestoreSession(dump io.Reader, opts ...Option) (*Session, error) {
-	s, err := NewSession(opts...)
+	s, err := NewSession(append(append([]Option{}, opts...), deferJobs())...)
 	if err != nil {
 		return nil, err
 	}
 	// Drop the freshly installed empty catalogue; the dump recreates it.
-	for _, t := range []string{"model", "modelvariable", "modelinstance", "modelinstancevalues", "fmustorage"} {
+	for _, t := range []string{"model", "modelvariable", "modelinstance", "modelinstancevalues", "fmustorage", "fmujobs"} {
 		if _, err := s.db.Exec("DROP TABLE IF EXISTS " + t); err != nil {
 			return nil, err
 		}
@@ -61,6 +61,12 @@ func RestoreSession(dump io.Reader, opts ...Option) (*Session, error) {
 	if err := s.rehydrate(); err != nil {
 		return nil, err
 	}
+	// Dumps predating the job subsystem carry no fmujobs table; jobs that
+	// were running when the dump was taken cannot resume from it.
+	if err := s.recoverJobs(); err != nil {
+		return nil, err
+	}
+	s.jobs.start()
 	return s, nil
 }
 
@@ -73,7 +79,10 @@ func RestoreSession(dump io.Reader, opts ...Option) (*Session, error) {
 // (group commit), WithAutoCheckpointEvery, and WithPagedStorage (on-disk
 // page/B+tree images instead of whole snapshots).
 func OpenDurable(dir string, opts ...Option) (*Session, error) {
-	s, err := NewSession(opts...)
+	// Job workers stay parked until recovery finishes: the snapshot restore
+	// below replaces the whole catalogue, and running a queued job against a
+	// half-recovered database would corrupt it.
+	s, err := NewSession(append(append([]Option{}, opts...), deferJobs())...)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +102,14 @@ func OpenDurable(dir string, opts ...Option) (*Session, error) {
 		s.db.Close()
 		return nil, err
 	}
+	// Crash protocol for jobs: the restored snapshot may predate the job
+	// subsystem (ensure the table), jobs that died mid-run become
+	// 'interrupted', and still-queued rows re-dispatch once the pool starts.
+	if err := s.recoverJobs(); err != nil {
+		s.db.Close()
+		return nil, err
+	}
+	s.jobs.start()
 	return s, nil
 }
 
@@ -101,10 +118,14 @@ func OpenDurable(dir string, opts ...Option) (*Session, error) {
 // in-memory sessions.
 func (s *Session) Checkpoint() error { return s.db.Checkpoint() }
 
-// Close flushes and detaches a durable session's WAL; in-memory sessions
-// close trivially. The catalogue stays usable, but further writes are no
-// longer logged.
-func (s *Session) Close() error { return s.db.Close() }
+// Close stops the job worker pool (cancelling live jobs; queued rows stay
+// queued for the next open), then flushes and detaches a durable session's
+// WAL; in-memory sessions close trivially. The catalogue stays usable, but
+// further writes are no longer logged.
+func (s *Session) Close() error {
+	s.jobs.shutdown()
+	return s.db.Close()
+}
 
 // rehydrate loads units and instances from the catalogue tables.
 func (s *Session) rehydrate() error {

@@ -62,6 +62,17 @@ type Session struct {
 	// lockWait overrides the bounded row/table lock wait (0 = keep the
 	// engine default of one second).
 	lockWait time.Duration
+
+	// simcache is the content-addressed simulation result cache
+	// (simcache.go); simCacheEntries bounds it (0 disables).
+	simcache        *simCache
+	simCacheEntries int
+	// jobs is the async job subsystem (jobs.go); jobWorkers bounds its
+	// worker pool. deferJobStart keeps the dispatcher parked until durable
+	// recovery has settled the fmujobs table (OpenDurable starts it).
+	jobs          *jobManager
+	jobWorkers    int
+	deferJobStart bool
 }
 
 // Option configures a Session.
@@ -117,6 +128,29 @@ func WithLockWaitTimeout(d time.Duration) Option {
 	return func(s *Session) { s.lockWait = d }
 }
 
+// WithJobWorkers bounds the async job subsystem's worker pool (fmu_submit /
+// fmu_sweep execution slots). Default 4; n < 1 is clamped to 1.
+func WithJobWorkers(n int) Option {
+	return func(s *Session) {
+		if n < 1 {
+			n = 1
+		}
+		s.jobWorkers = n
+	}
+}
+
+// WithSimCacheEntries bounds the content-addressed simulation result cache
+// (default 128 trajectory frames; 0 disables caching).
+func WithSimCacheEntries(n int) Option {
+	return func(s *Session) { s.simCacheEntries = n }
+}
+
+// deferJobs keeps the job dispatcher parked; OpenDurable/RestoreSession use
+// it so recovery settles the fmujobs table before any worker runs.
+func deferJobs() Option {
+	return func(s *Session) { s.deferJobStart = true }
+}
+
 // NewSession creates a database, installs the model catalogue and all pgFMU
 // UDFs, and returns the session. MI optimization defaults to on (pgFMU+)
 // with the paper's 20% threshold.
@@ -133,6 +167,8 @@ func NewSession(opts ...Option) (*Session, error) {
 		},
 		walSyncEvery:        1,
 		autoCheckpointEvery: defaultAutoCheckpointEvery,
+		simCacheEntries:     defaultSimCacheEntries,
+		jobWorkers:          defaultJobWorkers,
 	}
 	for _, o := range opts {
 		o(s)
@@ -140,6 +176,8 @@ func NewSession(opts ...Option) (*Session, error) {
 	if s.lockWait > 0 {
 		s.db.SetLockWaitTimeout(s.lockWait)
 	}
+	s.simcache = newSimCache(s.simCacheEntries)
+	s.jobs = newJobManager(s, s.jobWorkers)
 	if err := s.installCatalog(); err != nil {
 		return nil, err
 	}
@@ -147,8 +185,17 @@ func NewSession(opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	s.registerUDFs()
+	if !s.deferJobStart {
+		s.jobs.start()
+	}
 	return s, nil
 }
+
+// SimCacheStats reports the simulation result cache counters.
+func (s *Session) SimCacheStats() CacheStats { return s.simcache.stats() }
+
+// JobStats reports the async job subsystem counters.
+func (s *Session) JobStats() JobStats { return s.jobs.statsSnapshot() }
 
 // DB exposes the underlying database for direct SQL.
 func (s *Session) DB() *sqldb.DB { return s.db }
@@ -249,6 +296,7 @@ func (s *Session) installCatalog() error {
 			instanceid text, modelid text)`,
 		`CREATE TABLE IF NOT EXISTS modelinstancevalues (
 			modelid text, instanceid text, varname text, value variant)`,
+		fmujobsDDL,
 	}
 	for _, q := range ddl {
 		if _, err := s.db.QueryNested(q); err != nil {

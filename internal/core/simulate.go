@@ -129,9 +129,29 @@ func (s *Session) simulateFrameLocked(ctx context.Context, req SimulateRequest) 
 		}
 	}
 
-	res, err := inst.Simulate(inputs, t0, t1, &fmu.SimOptions{OutputStep: step, Ctx: ctx})
-	if err != nil {
-		return nil, false, err
+	timestamps := in != nil && in.timeIsTimestamp
+
+	// Content-addressed result cache: the key covers everything the
+	// trajectory depends on (model GUID, current instance values, input
+	// series, window, step), so a hit can skip integration outright.
+	// Simulate never mutates instance state, so serving the stored frame is
+	// observationally identical to recomputing it — including the catalogue
+	// mirror below, which reads the same unchanged values either way.
+	var cacheKey string
+	res, hit := (*fmu.SimResult)(nil), false
+	if s.simcache != nil {
+		cacheKey = simCacheKey(modelID, inst, unit, inputs, t0, t1, step)
+		if timestamps {
+			cacheKey += ":ts"
+		}
+		res, _, hit = s.simcache.get(cacheKey)
+	}
+	if !hit {
+		res, err = inst.Simulate(inputs, t0, t1, &fmu.SimOptions{OutputStep: step, Ctx: ctx})
+		if err != nil {
+			return nil, false, err
+		}
+		s.simcache.put(cacheKey, req.InstanceID, res, timestamps)
 	}
 
 	// Mirror the state initial values used by this run into the catalogue
@@ -148,7 +168,6 @@ func (s *Session) simulateFrameLocked(ctx context.Context, req SimulateRequest) 
 		}
 	}
 
-	timestamps := in != nil && in.timeIsTimestamp
 	return res, timestamps, nil
 }
 

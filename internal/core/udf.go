@@ -269,6 +269,7 @@ func (s *Session) registerUDFs() {
 	}, false)
 
 	s.registerControlUDF()
+	s.registerJobUDFs()
 
 	// fmu_models() -> catalogue summary for interactive inspection.
 	db.RegisterTableReadOnly("fmu_models", func(d *sqldb.DB, _ []variant.Value) (*sqldb.ResultSet, error) {

@@ -38,6 +38,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.db.EngineStats()
+	js := s.db.JobStats()
+	cs := s.db.SimCacheStats()
 	writeJSON(w, http.StatusOK, wire.Stats{
 		Sessions:        s.sm.count(),
 		ActiveTxns:      s.sm.activeTxns(),
@@ -57,6 +59,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ActiveTxns:    es.ActiveTxns,
 			Durable:       es.Durable,
 			Paged:         es.Paged,
+		},
+		Jobs: wire.JobStats{
+			Workers:   js.Workers,
+			Submitted: js.Submitted,
+			Completed: js.Completed,
+			Failed:    js.Failed,
+			Cancelled: js.Cancelled,
+			Running:   js.Running,
+		},
+		Cache: wire.CacheStats{
+			Entries:       cs.Entries,
+			Capacity:      cs.Capacity,
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			Evictions:     cs.Evictions,
+			Invalidations: cs.Invalidations,
+			HitRate:       cs.HitRate(),
 		},
 	})
 }

@@ -30,6 +30,10 @@ type Mix struct {
 	Read  int
 	Write int
 	FMU   int
+	// Jobs ops submit an async simulation through fmu_submit and poll
+	// fmu_jobs() until it reaches a terminal state — exercising the job
+	// scheduler and the content-addressed result cache under load.
+	Jobs int
 }
 
 // DefaultMix is read-heavy with a simulation tail, shaped like the paper's
@@ -64,6 +68,7 @@ type Report struct {
 	Reads    int
 	Writes   int
 	FMUs     int
+	Jobs     int
 	// Conflicts counts ErrWriteConflict retries (expected under load,
 	// not failures).
 	Conflicts int
@@ -85,19 +90,19 @@ func (r *Report) String() string {
 		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
 	}
 	return fmt.Sprintf(
-		"clients=%d duration=%s ops=%d (reads=%d writes=%d fmu=%d) throughput=%.0f ops/s\n"+
+		"clients=%d duration=%s ops=%d (reads=%d writes=%d fmu=%d jobs=%d) throughput=%.0f ops/s\n"+
 			"latency p50=%s p95=%s p99=%s max=%s\n"+
 			"conflicts=%d errors=%d corrupted=%d",
-		r.Clients, r.Duration.Round(time.Millisecond), r.Ops, r.Reads, r.Writes, r.FMUs, r.Throughput,
+		r.Clients, r.Duration.Round(time.Millisecond), r.Ops, r.Reads, r.Writes, r.FMUs, r.Jobs, r.Throughput,
 		ms(r.P50), ms(r.P95), ms(r.P99), ms(r.Max), r.Conflicts, r.Errors, r.Corrupted)
 }
 
 // clientStats is one worker's tally, merged after the run.
 type clientStats struct {
-	lat                 []time.Duration
-	reads, writes, fmus int
-	conflicts, errors   int
-	corrupted           int
+	lat                       []time.Duration
+	reads, writes, fmus, jobs int
+	conflicts, errors         int
+	corrupted                 int
 }
 
 // Run executes the workload and returns its report. The server must be
@@ -126,7 +131,7 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	c := client.New(o.URL, o.Token)
 
 	fmuClients := 0
-	if o.Mix.FMU > 0 {
+	if o.Mix.FMU > 0 || o.Mix.Jobs > 0 {
 		// Each simulating client gets a private instance: concurrent
 		// stepping of one shared FMU instance is not part of the engine's
 		// contract. Cap the copies; clients above the cap share the read/
@@ -140,8 +145,8 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		return nil, fmt.Errorf("loadtest setup: %w", err)
 	}
 
-	logf("starting %d clients for %s (mix r=%d w=%d f=%d)",
-		o.Clients, o.Duration, o.Mix.Read, o.Mix.Write, o.Mix.FMU)
+	logf("starting %d clients for %s (mix r=%d w=%d f=%d j=%d)",
+		o.Clients, o.Duration, o.Mix.Read, o.Mix.Write, o.Mix.FMU, o.Mix.Jobs)
 	stopAt := time.Now().Add(o.Duration)
 	runCtx, cancel := context.WithDeadline(ctx, stopAt.Add(10*time.Second))
 	defer cancel()
@@ -167,6 +172,7 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		rep.Reads += s.reads
 		rep.Writes += s.writes
 		rep.FMUs += s.fmus
+		rep.Jobs += s.jobs
 		rep.Conflicts += s.conflicts
 		rep.Errors += s.errors
 		rep.Corrupted += s.corrupted
@@ -265,7 +271,7 @@ func runClient(ctx context.Context, c *client.Client, id int, o Options, withFMU
 	rng := rand.New(rand.NewSource(o.Seed + int64(id)*7919))
 	total := o.Mix.Read + o.Mix.Write
 	if withFMU {
-		total += o.Mix.FMU
+		total += o.Mix.FMU + o.Mix.Jobs
 	}
 	committed := 0 // rows this client has durably committed to lt_kv
 	seq := 0
@@ -297,10 +303,18 @@ func runClient(ctx context.Context, c *client.Client, id int, o Options, withFMU
 			} else {
 				st.errors++
 			}
-		default:
+		case pick < o.Mix.Read+o.Mix.Write+o.Mix.FMU:
 			ok := doFMU(ctx, s, id)
 			st.fmus++
 			if !ok {
+				st.corrupted++
+			}
+		default:
+			ok := doJob(ctx, s, id)
+			st.jobs++
+			// A job still polling when the run deadline cancels ctx is
+			// abandoned, not corrupted — only a live-run failure counts.
+			if !ok && ctx.Err() == nil {
 				st.corrupted++
 			}
 		}
@@ -392,6 +406,49 @@ func doFMU(ctx context.Context, s *client.Session, id int) bool {
 		n++
 	}
 	return rows.Err() == nil && n > 0
+}
+
+// doJob submits an async simulation and polls fmu_jobs() until it reaches a
+// terminal state; corruption = the job never turning terminal or ending in
+// error. Repeated submissions of the same instance hit the simulation cache,
+// so job throughput under load also exercises the cache path.
+func doJob(ctx context.Context, s *client.Session, id int) bool {
+	inst := fmt.Sprintf("lt_m%d", id)
+	rows, err := s.Query(ctx, fmt.Sprintf(
+		`SELECT fmu_submit('simulate', '%s', 'SELECT * FROM lt_meas')`, inst))
+	if err != nil {
+		return false
+	}
+	var jobID float64
+	okRow := rows.Next() && len(rows.Row()) == 1
+	if okRow {
+		jobID, okRow = rows.Row()[0].(float64)
+	}
+	rows.Close()
+	if !okRow {
+		return false
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		rows, err := s.Query(ctx, fmt.Sprintf(
+			`SELECT state FROM fmu_jobs() WHERE jobid = %d`, int64(jobID)))
+		if err != nil {
+			return false
+		}
+		state := ""
+		if rows.Next() && len(rows.Row()) == 1 {
+			state, _ = rows.Row()[0].(string)
+		}
+		rows.Close()
+		switch state {
+		case "done":
+			return true
+		case "error", "cancelled", "interrupted":
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
 }
 
 func isConflict(err error) bool {

@@ -50,6 +50,7 @@ func TestLoadSmoke(t *testing.T) {
 		URL:      "http://" + addr.String(),
 		Clients:  6,
 		Duration: 2 * time.Second,
+		Mix:      Mix{Read: 6, Write: 3, FMU: 1, Jobs: 1},
 		Logf:     t.Logf,
 	})
 	if err != nil {
@@ -57,7 +58,7 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	t.Logf("report:\n%s", rep)
 
-	if rep.Ops == 0 || rep.Reads == 0 || rep.Writes == 0 || rep.FMUs == 0 {
+	if rep.Ops == 0 || rep.Reads == 0 || rep.Writes == 0 || rep.FMUs == 0 || rep.Jobs == 0 {
 		t.Fatalf("mix incomplete: %+v", rep)
 	}
 	if rep.Errors != 0 {

@@ -113,6 +113,29 @@ type Stats struct {
 	Version         string  `json:"version"`
 
 	Engine EngineStats `json:"engine"`
+	Jobs   JobStats    `json:"jobs"`
+	Cache  CacheStats  `json:"sim_cache"`
+}
+
+// JobStats mirrors the async job subsystem's counters on the wire.
+type JobStats struct {
+	Workers   int    `json:"workers"`
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Running   int    `json:"running"`
+}
+
+// CacheStats mirrors the simulation result cache counters on the wire.
+type CacheStats struct {
+	Entries       int     `json:"entries"`
+	Capacity      int     `json:"capacity"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Evictions     uint64  `json:"evictions"`
+	Invalidations uint64  `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
 }
 
 // EngineStats mirrors sqldb.EngineStats on the wire.

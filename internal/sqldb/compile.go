@@ -115,7 +115,11 @@ func (c *compiler) compile(e Expr) (compiledExpr, bool) {
 					return v, err
 				}
 				if v.Kind() == variant.Int {
-					return variant.NewInt(-v.Int()), nil
+					n, err := negInt64(v.Int())
+					if err != nil {
+						return variant.Value{}, err
+					}
+					return variant.NewInt(n), nil
 				}
 				f, err := v.AsFloat()
 				if err != nil {

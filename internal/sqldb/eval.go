@@ -163,7 +163,11 @@ func evalExpr(cx *evalCtx, e Expr) (variant.Value, error) {
 				return v, nil
 			}
 			if v.Kind() == variant.Int {
-				return variant.NewInt(-v.Int()), nil
+				n, err := negInt64(v.Int())
+				if err != nil {
+					return variant.Value{}, err
+				}
+				return variant.NewInt(n), nil
 			}
 			f, err := v.AsFloat()
 			if err != nil {
@@ -419,6 +423,50 @@ func evalBinary(cx *evalCtx, x *BinaryExpr) (variant.Value, error) {
 	}
 }
 
+// errIntRange is the execution error raised when 64-bit integer arithmetic
+// would wrap. Every executor strategy — interpreted rows, compiled closures,
+// vectorized fallback lanes, and the sum() accumulators — funnels through
+// the checked helpers below, so the error text is identical everywhere and
+// the differential suites can assert exact parity.
+var errIntRange = fmt.Errorf("sql: integer out of range")
+
+func addInt64(a, b int64) (int64, error) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, errIntRange
+	}
+	return s, nil
+}
+
+func subInt64(a, b int64) (int64, error) {
+	d := a - b
+	if (a >= 0 && b < 0 && d < 0) || (a < 0 && b > 0 && d >= 0) {
+		return 0, errIntRange
+	}
+	return d, nil
+}
+
+func mulInt64(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	p := a * b
+	// p/b recovers a for every in-range product; the MinInt64*-1 pair is the
+	// one wrap where the quotient check is fooled (Go defines MinInt64 / -1
+	// as MinInt64, so p/b == a despite the overflow).
+	if p/b != a || (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, errIntRange
+	}
+	return p, nil
+}
+
+func negInt64(a int64) (int64, error) {
+	if a == math.MinInt64 {
+		return 0, errIntRange
+	}
+	return -a, nil
+}
+
 func evalArith(op string, l, r variant.Value) (variant.Value, error) {
 	// Integer arithmetic stays integral (except /), like PostgreSQL... but
 	// unlike PostgreSQL, integer division producing a non-integral quotient
@@ -427,11 +475,23 @@ func evalArith(op string, l, r variant.Value) (variant.Value, error) {
 		a, b := l.Int(), r.Int()
 		switch op {
 		case "+":
-			return variant.NewInt(a + b), nil
+			s, err := addInt64(a, b)
+			if err != nil {
+				return variant.Value{}, err
+			}
+			return variant.NewInt(s), nil
 		case "-":
-			return variant.NewInt(a - b), nil
+			d, err := subInt64(a, b)
+			if err != nil {
+				return variant.Value{}, err
+			}
+			return variant.NewInt(d), nil
 		case "*":
-			return variant.NewInt(a * b), nil
+			p, err := mulInt64(a, b)
+			if err != nil {
+				return variant.Value{}, err
+			}
+			return variant.NewInt(p), nil
 		case "%":
 			if b == 0 {
 				return variant.Value{}, fmt.Errorf("sql: modulo by zero")
@@ -442,6 +502,9 @@ func evalArith(op string, l, r variant.Value) (variant.Value, error) {
 				return variant.Value{}, fmt.Errorf("sql: division by zero")
 			}
 			if a%b == 0 {
+				if a == math.MinInt64 && b == -1 {
+					return variant.Value{}, errIntRange
+				}
 				return variant.NewInt(a / b), nil
 			}
 			return variant.NewFloat(float64(a) / float64(b)), nil

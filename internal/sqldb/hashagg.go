@@ -62,8 +62,13 @@ func (a *countAccum) result() (variant.Value, error) {
 type sumAccum struct {
 	n      int
 	allInt bool
-	sumI   int64
-	sumF   float64
+	// overI records that the integer fold wrapped. The error is deferred to
+	// result(): a later float input demotes the whole sum to the float fold,
+	// where the wrapped integer partial is irrelevant — matching what every
+	// executor strategy must report identically.
+	overI bool
+	sumI  int64
+	sumF  float64
 }
 
 func (a *sumAccum) add(v variant.Value) error {
@@ -73,7 +78,11 @@ func (a *sumAccum) add(v variant.Value) error {
 	}
 	a.sumF += f
 	if v.Kind() == variant.Int {
-		a.sumI += v.Int()
+		s, err := addInt64(a.sumI, v.Int())
+		if err != nil {
+			a.overI = true
+		}
+		a.sumI = s
 	} else {
 		a.allInt = false
 	}
@@ -86,6 +95,9 @@ func (a *sumAccum) result() (variant.Value, error) {
 		return variant.NewNull(), nil
 	}
 	if a.allInt {
+		if a.overI {
+			return variant.Value{}, fmt.Errorf("sql: sum(): %w", errIntRange)
+		}
 		return variant.NewInt(a.sumI), nil
 	}
 	return variant.NewFloat(a.sumF), nil

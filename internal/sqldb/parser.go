@@ -1038,6 +1038,19 @@ func (p *sqlParser) parseMulDiv() (Expr, error) {
 func (p *sqlParser) parseUnary() (Expr, error) {
 	if p.atSymbol("-") {
 		p.next()
+		// -9223372036854775808 (MinInt64) only exists as a negated literal:
+		// the positive digits overflow int64 on their own, so fold the sign
+		// into the literal here. In-range negative literals keep the
+		// UnaryExpr shape (constant folding elsewhere relies on it, and the
+		// EXPLAIN goldens print it).
+		if t := p.cur(); t.kind == tNumber && !strings.ContainsAny(t.text, ".eE") {
+			if _, err := strconv.ParseInt(t.text, 10, 64); err != nil {
+				if i, err := strconv.ParseInt("-"+t.text, 10, 64); err == nil {
+					p.next()
+					return &Literal{Value: variant.NewInt(i)}, nil
+				}
+			}
+		}
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err

@@ -182,6 +182,15 @@ func WithPagedStorage(pageSize, poolPages int) Option {
 // duration, e.g. "250ms") overrides the default the same way.
 func WithLockWaitTimeout(d time.Duration) Option { return core.WithLockWaitTimeout(d) }
 
+// WithJobWorkers sets the width of the async job worker pool that drains
+// fmu_submit/fmu_sweep work (default 4).
+func WithJobWorkers(n int) Option { return core.WithJobWorkers(n) }
+
+// WithSimCacheEntries bounds the content-addressed simulation result cache
+// (entries are whole trajectory frames, LRU-evicted; 0 disables the cache,
+// default 128).
+func WithSimCacheEntries(n int) Option { return core.WithSimCacheEntries(n) }
+
 // Open creates a pgFMU database with the model catalogue, the fmu_* UDF
 // suite, and the ML UDFs installed.
 //
@@ -334,6 +343,20 @@ type EngineStats = sqldb.EngineStats
 
 // EngineStats returns the engine's operational counters.
 func (db *DB) EngineStats() EngineStats { return db.session.DB().EngineStats() }
+
+// JobStats is a snapshot of the async job subsystem's counters (pool width,
+// submissions, completions, failures, cancellations, live jobs).
+type JobStats = core.JobStats
+
+// JobStats returns the job subsystem's counters.
+func (db *DB) JobStats() JobStats { return db.session.JobStats() }
+
+// SimCacheStats is a snapshot of the content-addressed simulation result
+// cache (entries, hits, misses, evictions, invalidations).
+type SimCacheStats = core.CacheStats
+
+// SimCacheStats returns the simulation cache counters.
+func (db *DB) SimCacheStats() SimCacheStats { return db.session.SimCacheStats() }
 
 // Session exposes the pgFMU core for advanced use.
 func (db *DB) Session() *core.Session { return db.session }
